@@ -1,0 +1,18 @@
+"""Ablation — fine utilization-cap sweep on Blue Mountain.
+
+Shape claims checked: interstitial throughput and overall utilization
+grow monotonically in the cap, bounded by the uncapped run.
+"""
+
+from repro.experiments import ablation_caps
+
+
+def bench_ablation_caps(run_and_show, scale):
+    result = run_and_show(ablation_caps, scale)
+    data = result.data
+    caps = ["82%", "86%", "90%", "94%", "98%"]
+    jobs = [data[c]["interstitial_jobs"] for c in caps]
+    utils = [data[c]["overall_utilization"] for c in caps]
+    assert jobs == sorted(jobs)
+    assert utils == sorted(utils)
+    assert jobs[-1] <= data["uncapped"]["interstitial_jobs"]

@@ -1,0 +1,16 @@
+"""Ablation — Figure-1 harvest efficiency vs the omniscient bound.
+
+Shape claims checked: the fallible controller reaches a substantial
+fraction (>=60%) of the provable zero-impact harvest on every machine,
+without exceeding ~1.5x of it (it can pass 100% only by delaying
+natives, which is bounded).
+"""
+
+from repro.experiments import ablation_efficiency
+
+
+def bench_ablation_efficiency(run_and_show, scale):
+    result = run_and_show(ablation_efficiency, scale)
+    for machine, data in result.data.items():
+        assert data["bound"] > 0, machine
+        assert 0.6 <= data["efficiency"] <= 1.5, (machine, data)

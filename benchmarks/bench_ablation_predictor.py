@@ -1,0 +1,20 @@
+"""Ablation — NWS-style per-user runtime prediction (§4.3.1
+suggestion).
+
+Shape claims checked: the predictor does not hurt native median waits,
+and both configurations sustain substantial interstitial throughput.
+"""
+
+from repro.experiments import ablation_predictor
+
+
+def bench_ablation_predictor(run_and_show, scale):
+    result = run_and_show(ablation_predictor, scale)
+    data = result.data
+    raw = data["raw user estimates"]
+    predicted = data["EWMA predictor"]
+    assert (
+        predicted["median_wait_all_s"]
+        <= raw["median_wait_all_s"] + 120.0
+    )
+    assert predicted["interstitial_jobs"] > 0.5 * raw["interstitial_jobs"]

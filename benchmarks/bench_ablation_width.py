@@ -1,0 +1,24 @@
+"""Ablation — interstitial width sweep on Blue Pacific (breakage
+staircase).
+
+Shape claims checked: measured makespan ratios climb with width overall
+(1-CPU fastest, widest slowest) and the analytic breakage factor is
+monotone over the sweep.
+"""
+
+import math
+
+from repro.experiments import ablation_width
+
+
+def bench_ablation_width(run_and_show, scale):
+    result = run_and_show(ablation_width, scale)
+    data = result.data
+    widths = sorted(data)
+    theories = [data[w]["theory_breakage"] for w in widths]
+    finite = [t for t in theories if math.isfinite(t)]
+    assert finite == sorted(finite)
+    # Endpoint ordering of the measurement (interior steps are noisy).
+    assert data[widths[-1]]["ratio_vs_1cpu"] >= data[widths[0]][
+        "ratio_vs_1cpu"
+    ]

@@ -1,0 +1,19 @@
+"""§4.3.2.1 — delay-cascade decomposition on Blue Mountain.
+
+Shape claims checked: cascade-delayed jobs are a minority of natives
+but carry the majority of the total extra wait — the paper's mechanism
+for mean-wait blow-up at modest median impact.
+"""
+
+from repro.experiments import cascade_analysis
+from repro.experiments.continual_tables import CONTINUAL_RUNTIMES_1GHZ
+
+
+def bench_cascade_analysis(run_and_show, scale):
+    result = run_and_show(cascade_analysis, scale)
+    for runtime in CONTINUAL_RUNTIMES_1GHZ:
+        report = result.data[runtime]["report"]
+        assert report.cascade_fraction < 0.5  # a minority of jobs...
+        if report.n_cascade > 0:
+            # ...carrying the bulk of the damage.
+            assert report.cascade_share_of_extra_wait > 0.5

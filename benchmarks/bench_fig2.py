@@ -1,0 +1,22 @@
+"""Figure 2 — actual vs theoretical makespan scatter.
+
+Shape claims checked: actual makespans correlate strongly with the
+P/(NC(1-U)) theory line and sit on or above it (the paper's points hug
+the diagonal from above).
+"""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+
+def bench_fig2(run_and_show, scale):
+    result = run_and_show(fig2, scale)
+    points = result.data["points_1cpu"] + result.data["points_32cpu"]
+    theory = np.array([t for t, _ in points])
+    actual = np.array([a for _, a in points])
+    corr = np.corrcoef(theory, actual)[0, 1]
+    assert corr > 0.6
+    # The bulk of points lie above the diagonal (real machines are
+    # never better than the constant-utilization fluid limit).
+    assert np.mean(actual >= 0.9 * theory) > 0.8

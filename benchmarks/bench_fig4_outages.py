@@ -1,0 +1,17 @@
+"""Figure 4 (outage variant) — "100% except for outages".
+
+Shape claims checked: with continual interstitial computing,
+utilization outside outages stays near 1.0; the full-machine outage day
+drops to near 0 and the half-machine day to roughly half.
+"""
+
+from repro.experiments import fig4_outages
+
+
+def bench_fig4_outages(run_and_show, scale):
+    result = run_and_show(fig4_outages, scale)
+    data = result.data
+    assert data["outside outages"] > 0.9
+    assert data["full outage day"] < 0.3
+    assert 0.2 < data["half outage day"] < 0.85
+    assert data["full outage day"] < data["half outage day"]

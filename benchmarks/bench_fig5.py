@@ -1,0 +1,23 @@
+"""Figure 5 — wait-time histogram of all native jobs on Blue Mountain.
+
+Shape claims checked: each histogram is a probability distribution; the
+baseline's never-waited [0,1) mass shrinks under interstitial load and
+moves into the bins at/after one interstitial runtime.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def bench_fig5(run_and_show, scale):
+    result = run_and_show(fig5, scale)
+    data = result.data
+    labels = list(data)
+    for hist in data.values():
+        assert sum(hist) == pytest.approx(1.0)
+    baseline = data[labels[0]]
+    for label in labels[1:]:
+        assert data[label][0] <= baseline[0] + 1e-9
+        # Mass beyond 100 s grows (one 458 s/3664 s interstitial job).
+        assert sum(data[label][2:]) >= sum(baseline[2:]) - 1e-9

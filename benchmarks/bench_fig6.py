@@ -1,0 +1,27 @@
+"""Figure 6 — wait-time histogram of the 5% largest native jobs.
+
+Shape claims checked: distributions are normalized, and the largest
+jobs' distributions shift right at least as much as the population's
+(they are the preferred victims of poached backfill windows).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5, fig6
+
+
+def mean_bin(hist):
+    return float(np.average(np.arange(len(hist)), weights=hist))
+
+
+def bench_fig6(run_and_show, scale):
+    result = run_and_show(fig6, scale)
+    data = result.data
+    labels = list(data)
+    for hist in data.values():
+        assert sum(hist) == pytest.approx(1.0)
+    all_jobs = fig5.run(scale).data
+    for label in labels[1:]:
+        # Large jobs wait in higher bins than the population at large.
+        assert mean_bin(data[label]) >= mean_bin(all_jobs[label]) - 0.5

@@ -1,0 +1,14 @@
+"""§4.2 — the affine makespan fit (paper: 5256 + 1.16x).
+
+Shape claims checked: positive intercept of the same order as the
+paper's, slope above 1 (dispersion + breakage) and a strong fit.
+"""
+
+from repro.experiments import fit_theory
+
+
+def bench_fit_theory(run_and_show, scale):
+    result = run_and_show(fit_theory, scale)
+    fit = result.data["fit"]
+    assert fit.slope > 0.8
+    assert fit.r_squared > 0.5

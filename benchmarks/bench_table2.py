@@ -1,0 +1,42 @@
+"""Table 2 — omniscient interstitial makespans.
+
+Shape claims checked: makespans grow with project size on every
+machine; Blue Pacific is the slowest machine for every project (small
+capacity x high utilization).
+"""
+
+import numpy as np
+
+from repro.experiments import table2
+
+
+def bench_table2(run_and_show, scale):
+    result = run_and_show(table2, scale)
+    points = result.data["points"]
+    # Growth in project size per (machine, width) series: the largest
+    # project always outlasts the smallest (interior points can wobble
+    # at reduced sample counts, as the paper's own large stds suggest).
+    for machine, pts in points.items():
+        for width in (1, 32):
+            series = sorted(
+                (p["peta_cycles"], p["mean_makespan_s"])
+                for p in pts
+                if p["cpus_per_job"] == width
+            )
+            assert series[-1][1] > series[0][1], (machine, width)
+    # Blue Pacific slowest for the largest projects (paper's ordering;
+    # compared at the biggest size where dispersion matters least).
+    largest = max(p["peta_cycles"] for p in points["ross"])
+    spans_at_largest = {
+        m: np.mean(
+            [
+                p["mean_makespan_s"]
+                for p in pts
+                if p["peta_cycles"] >= 0.9 * largest
+            ]
+        )
+        for m, pts in points.items()
+    }
+    assert spans_at_largest["blue_pacific"] == max(
+        spans_at_largest.values()
+    )

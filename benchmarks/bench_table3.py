@@ -1,0 +1,24 @@
+"""Table 3 — breakage: 32-CPU vs 1-CPU makespan ratios.
+
+Shape claims checked: theory at the paper's utilizations reproduces
+{1.035, 1.020, 1.346}; measured ratios are near 1 on the big machines
+and largest on Blue Pacific.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import table3
+
+
+def bench_table3(run_and_show, scale):
+    result = run_and_show(table3, scale)
+    theory = result.data["theory_paper_u"]
+    assert theory["ross"] == pytest.approx(1.035, abs=0.001)
+    assert theory["blue_mountain"] == pytest.approx(1.020, abs=0.001)
+    assert theory["blue_pacific"] == pytest.approx(1.346, abs=0.001)
+    actual = result.data["actual"]
+    for machine, ratio in actual.items():
+        assert math.isfinite(ratio)
+        assert 0.7 < ratio < 2.0, (machine, ratio)

@@ -1,0 +1,32 @@
+"""Table 4 — fallible (estimate-driven) short-project makespans.
+
+Shape claims checked: every Blue Pacific makespan exceeds its Blue
+Mountain counterpart (where both complete), and within a machine the
+large projects take longer than the small ones.
+"""
+
+import numpy as np
+
+from repro.experiments import table4
+
+
+def bench_table4(run_and_show, scale):
+    result = run_and_show(table4, scale)
+    samples = result.data["samples"]
+
+    def mean(machine, peta, kjobs, cpus, runtime):
+        values = samples.get((machine, peta, kjobs, cpus, runtime), [])
+        return np.mean(values) if values else None
+
+    for peta, kjobs, cpus, runtime in (
+        (7.7, 2.0, 32, 120.0),
+        (123.0, 32.0, 32, 120.0),
+    ):
+        bm = mean("blue_mountain", peta, kjobs, cpus, runtime)
+        bp = mean("blue_pacific", peta, kjobs, cpus, runtime)
+        if bm is not None and bp is not None:
+            assert bp > bm, (peta, kjobs, cpus, runtime)
+    small = mean("blue_mountain", 7.7, 2.0, 32, 120.0)
+    large = mean("blue_mountain", 123.0, 32.0, 32, 120.0)
+    assert small is not None and large is not None
+    assert large > small

@@ -1,0 +1,24 @@
+"""Table 5 — native job performance impact on Blue Mountain.
+
+Shape claims checked: both continual interstitial streams worsen native
+median waits; longer interstitial jobs hurt at least as much as short
+ones; the 5%-largest jobs suffer more than the population in absolute
+wait.
+"""
+
+from repro.experiments import table5
+
+
+def bench_table5(run_and_show, scale):
+    result = run_and_show(table5, scale)
+    all_stats = result.data["all"]
+    big_stats = result.data["largest5"]
+    labels = list(all_stats)
+    baseline, short, long_ = (all_stats[label] for label in labels)
+    assert short["median_wait_s"] >= baseline["median_wait_s"]
+    assert long_["median_wait_s"] >= short["median_wait_s"]
+    for label in labels:
+        assert (
+            big_stats[label]["median_wait_s"]
+            >= all_stats[label]["median_wait_s"]
+        )

@@ -1,0 +1,30 @@
+"""Table 6 — continual interstitial computing on Blue Mountain.
+
+Shape claims checked: overall utilization gains >0.1 while native
+throughput (job count) and native utilization stay put; far more short
+interstitial jobs complete than long ones.
+"""
+
+import pytest
+
+from repro.experiments import table6
+
+
+def bench_table6(run_and_show, scale):
+    result = run_and_show(table6, scale)
+    cols = result.data["columns"]
+    labels = list(cols)
+    baseline, short, long_ = (cols[label] for label in labels)
+    assert short["overall_utilization"] > (
+        baseline["overall_utilization"] + 0.10
+    )
+    assert long_["overall_utilization"] > (
+        baseline["overall_utilization"] + 0.10
+    )
+    for boosted in (short, long_):
+        assert boosted["native_jobs"] == baseline["native_jobs"]
+        assert boosted["native_utilization"] == pytest.approx(
+            baseline["native_utilization"], abs=0.05
+        )
+    # Short jobs: ~8x more of them per unit time (paper: 408k vs 49k).
+    assert short["interstitial_jobs"] > 4 * long_["interstitial_jobs"]

@@ -1,0 +1,26 @@
+"""Table 7 — continual interstitial computing on Blue Pacific.
+
+Shape claims checked: the utilization gain is smaller than Blue
+Mountain's (the machine already runs >.9); the long-job stream pushes
+far fewer jobs through than the short-job stream; native throughput is
+preserved.
+"""
+
+from repro.experiments import table6, table7
+
+
+def bench_table7(run_and_show, scale):
+    result = run_and_show(table7, scale)
+    cols = result.data["columns"]
+    labels = list(cols)
+    baseline, short, long_ = (cols[label] for label in labels)
+    bp_gain = short["overall_utilization"] - baseline["overall_utilization"]
+    bm_cols = table6.run(scale).data["columns"]
+    bm_labels = list(bm_cols)
+    bm_gain = (
+        bm_cols[bm_labels[1]]["overall_utilization"]
+        - bm_cols[bm_labels[0]]["overall_utilization"]
+    )
+    assert bp_gain < bm_gain
+    assert short["interstitial_jobs"] > 4 * long_["interstitial_jobs"]
+    assert short["native_jobs"] == baseline["native_jobs"]

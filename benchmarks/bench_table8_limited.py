@@ -1,0 +1,25 @@
+"""Table 8b — limited (utilization-capped) continual interstitial on
+Blue Mountain.
+
+Shape claims checked: interstitial throughput and overall utilization
+rise monotonically with the cap and stay below the uncapped run; the
+90%-capped run's native median wait is no worse than the uncapped one.
+"""
+
+from repro.experiments import table8_limited
+
+
+def bench_table8_limited(run_and_show, scale):
+    result = run_and_show(table8_limited, scale)
+    cols = result.data["columns"]
+    caps = ["util < 90%", "util < 95%", "util < 98%"]
+    jobs = [cols[c]["interstitial_jobs"] for c in caps]
+    utils = [cols[c]["overall_utilization"] for c in caps]
+    assert jobs == sorted(jobs)
+    assert utils == sorted(utils)
+    uncapped = cols["uncapped"]
+    assert jobs[-1] <= uncapped["interstitial_jobs"]
+    assert (
+        cols[caps[0]]["median_wait_all_s"]
+        <= uncapped["median_wait_all_s"]
+    )

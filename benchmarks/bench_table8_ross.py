@@ -1,0 +1,24 @@
+"""Table 8a — continual interstitial computing on Ross.
+
+Shape claims checked: the lowest-utilization machine gains the most
+overall utilization; native throughput preserved; the long interstitial
+jobs inflate the 5%-largest median wait more than the short ones
+(Ross's week-long natives are the victims).
+"""
+
+from repro.experiments import table8_ross
+
+
+def bench_table8_ross(run_and_show, scale):
+    result = run_and_show(table8_ross, scale)
+    cols = result.data["columns"]
+    labels = list(cols)
+    baseline, short, long_ = (cols[label] for label in labels)
+    assert short["overall_utilization"] > (
+        baseline["overall_utilization"] + 0.2
+    )
+    assert short["native_jobs"] == baseline["native_jobs"]
+    assert (
+        long_["median_wait_largest_s"]
+        >= short["median_wait_largest_s"]
+    )

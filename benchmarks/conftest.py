@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures via its
+experiment driver, times the run with pytest-benchmark (single round —
+these are simulations, not micro-benchmarks) and prints the paper-style
+table so ``pytest benchmarks/ --benchmark-only`` output can be compared
+with the paper side by side.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (quick / default / paper);
+see ``repro.experiments.config``.  Drivers share process-level caches
+(traces, native baselines, continual runs), so later benches reusing an
+earlier bench's continual log report only their incremental cost — that
+sharing mirrors the paper's own §4.3.1 methodology.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active experiment scale for this bench session."""
+    return current_scale()
+
+
+@pytest.fixture
+def run_and_show(benchmark, capsys):
+    """Run a driver under the benchmark timer and print its table."""
+
+    def _run(driver, scale):
+        result = benchmark.pedantic(
+            driver.run, args=(scale,), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (pip install -e . without network
+access to build-isolation dependencies); all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

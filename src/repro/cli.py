@@ -1,0 +1,75 @@
+"""Command-line interface.
+
+* ``repro <experiment> [--scale NAME]`` — run one experiment (or
+  ``all``) and print its paper-style table;
+* ``repro list`` — enumerate the available experiments;
+* ``repro report [--scale NAME] [--output PATH]`` — regenerate every
+  table and figure into one markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SCALES, current_scale
+from repro.experiments.registry import EXPERIMENTS, REPORT_ORDER
+from repro.experiments.report import write_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Interstitial "
+            "Computing: Utilizing Spare Cycles on Supercomputers' "
+            "(CLUSTER 2003)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        help=(
+            "experiment to run ('all' runs everything, 'list' "
+            "enumerates them, 'report' writes a markdown report)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="scaling preset (default: REPRO_BENCH_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--output",
+        default="repro_report.md",
+        help="output path for 'report' (default: repro_report.md)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    if args.experiment == "report":
+        path = write_report(args.output, scale=scale)
+        print(f"wrote {path}")
+        return 0
+    names = (
+        list(REPORT_ORDER) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        result = EXPERIMENTS[name](scale)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Interface between the engine and an interstitial job source."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List
+
+from repro.jobs import Job
+from repro.sim.state import ClusterState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.base import Scheduler
+
+
+class InterstitialSource(abc.ABC):
+    """Supplies interstitial jobs to start in leftover capacity.
+
+    The engine consults the source once per scheduling pass, *after* the
+    native policy has started everything it can — the paper's
+    "meta-backfilled into the available processors from a low-priority
+    queue after no more of the native jobs can be backfilled".
+    """
+
+    @abc.abstractmethod
+    def offer(
+        self, t: float, cluster: ClusterState, scheduler: "Scheduler"
+    ) -> List[Job]:
+        """Return interstitial jobs to start immediately at ``t``.
+
+        The returned jobs must jointly fit in ``cluster.free_cpus``; the
+        engine starts them in order.
+        """
+
+    @property
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """True once the source will never produce another job."""
+
+    @property
+    def preemptible(self) -> bool:
+        """Whether running interstitial jobs may be killed to make room
+        for a blocked native job.
+
+        The paper's baseline is strictly non-preemptive (killed work is
+        wasted because there is no checkpoint/restart); the preemptible
+        mode is an ablation quantifying what zero native impact costs in
+        wasted interstitial cycles.
+        """
+        return False
+
+    def on_preempted(self, jobs: List[Job], t: float) -> None:
+        """Notification that ``jobs`` were killed at ``t``.
+
+        Sources that track remaining work should re-credit the killed
+        jobs (their work was lost and must be redone).
+        """

@@ -1,0 +1,273 @@
+"""The Figure-1 interstitial submission algorithm.
+
+Pseudo-code from the paper::
+
+    if( Queue( firstJob ).canRun() ) { submit( firstJob ); }
+    else { backfill( nativeJobs ); }
+    nInterstitialJobs = Floor( nodesAvailable / interstitialJobSize );
+    if( jobsInQueue == 0 ) {
+        submit( nInterstitialJobs );
+    } else if( backFillWallTime > interstitialRuntime ) {
+        /* backfillWallTime is when the first job in the queue can run
+           based on the expected finishing time of jobs currently
+           running */
+        submit( nInterstitialJobs );
+    }
+
+The native half (first two lines) is the engine's native scheduling
+pass; this controller implements the interstitial half.  It is
+*fallible* exactly the way the paper's realistic experiments are: the
+``backFillWallTime`` test uses user runtime estimates, so interstitial
+jobs can poach CPUs a native job would have used had its predecessors
+finished as early as they actually did.
+
+The controller also implements the two §4.3.2 variants:
+
+* **continual** feeding (``n_jobs=None``): an unbounded stream, cut off
+  by the engine's horizon;
+* **limited** feeding (``max_utilization``): submit only while the
+  machine utilization *including the new interstitial jobs* stays below
+  the cap — the §4.3.2.2 "Limiting Interstitial Jobs" policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.base import InterstitialSource
+from repro.errors import ConfigurationError
+from repro.jobs import InterstitialProject, Job, JobKind
+from repro.machines import Machine
+from repro.sim.state import ClusterState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.base import Scheduler
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One Figure-1 decision point (recorded when ``record_decisions``).
+
+    ``reason`` is one of ``no_room`` (no hole wide enough),
+    ``head_imminent`` (the backfillWallTime gate blocked submission),
+    ``cap_blocked`` (the §4.3.2.2 utilization cap blocked it) or
+    ``submitted`` (``n_submitted`` jobs were handed to the engine).
+    """
+
+    time: float
+    free_cpus: int
+    queue_length: int
+    n_submitted: int
+    reason: str
+
+
+class InterstitialController(InterstitialSource):
+    """Submits jobs of one interstitial project per the Figure-1 rule.
+
+    Parameters
+    ----------
+    machine:
+        Machine the jobs will run on (fixes the per-job runtime via the
+        project's 1 GHz normalization).
+    project:
+        The interstitial project specification (CPUs/job, runtime).
+    n_jobs:
+        Total jobs to run; ``None`` reads the count from the project;
+        ``math.inf`` (or passing ``continual=True``) feeds continually.
+    continual:
+        Convenience flag for the unbounded §4.3.2 mode.
+    max_utilization:
+        Optional cap: never let instantaneous machine utilization
+        (busy / total CPUs, interstitial included) exceed this value at
+        submission time (§4.3.2.2).
+    start_time:
+        The controller stays dormant before this time — used to drop a
+        project into the job stream "at a random time" (§3).
+    preemptible:
+        Ablation mode: allow the engine to kill running interstitial
+        jobs when a native job is blocked.  Killed jobs are re-credited
+        to the remaining count (their work must be redone) and tracked
+        in :attr:`n_preempted`.
+    checkpointing:
+        Ablation refinement of ``preemptible``: killed jobs checkpoint
+        their progress, so only their *remaining* runtime is
+        resubmitted instead of the whole job.  The paper's baseline has
+        no checkpoint/restart — that absence is exactly what creates
+        "breakage in time" (§4.2) — so this mode measures what
+        checkpointing would recover.
+    """
+
+    #: Shortest restart fragment worth resubmitting (seconds); smaller
+    #: remainders are treated as completed work.
+    MIN_RESTART_RUNTIME = 1.0
+
+    def __init__(
+        self,
+        machine: Machine,
+        project: InterstitialProject,
+        n_jobs: Optional[int] = None,
+        continual: bool = False,
+        max_utilization: Optional[float] = None,
+        start_time: float = 0.0,
+        preemptible: bool = False,
+        checkpointing: bool = False,
+        record_decisions: bool = False,
+    ) -> None:
+        if max_utilization is not None and not (0.0 < max_utilization <= 1.0):
+            raise ConfigurationError(
+                f"max_utilization must be in (0, 1], got {max_utilization}"
+            )
+        if start_time < 0.0:
+            raise ConfigurationError(
+                f"start_time must be >= 0, got {start_time}"
+            )
+        if project.cpus_per_job > machine.cpus:
+            raise ConfigurationError(
+                f"interstitial jobs of {project.cpus_per_job} CPUs cannot "
+                f"run on {machine.name} ({machine.cpus} CPUs)"
+            )
+        self.machine = machine
+        self.project = project
+        self.runtime = project.runtime_on(machine)
+        self.max_utilization = max_utilization
+        self.start_time = start_time
+        if continual:
+            self._remaining: float = math.inf
+        else:
+            self._remaining = float(n_jobs if n_jobs is not None
+                                    else project.n_jobs)
+        if self._remaining <= 0:
+            raise ConfigurationError("controller needs at least one job")
+        if checkpointing and not preemptible:
+            raise ConfigurationError(
+                "checkpointing only applies to preemptible controllers"
+            )
+        self.submitted: List[Job] = []
+        self._preemptible = preemptible
+        self._checkpointing = checkpointing
+        self.n_preempted = 0
+        #: Remaining runtimes (seconds) of checkpointed fragments
+        #: awaiting resubmission, drained ahead of fresh jobs.
+        self._restart_queue: List[float] = []
+        #: CPU-seconds of killed work preserved by checkpointing.
+        self.work_preserved_cpu_s = 0.0
+        #: Decision trace (None unless ``record_decisions``); continual
+        #: runs make hundreds of thousands of decisions, so this is
+        #: opt-in.
+        self.decisions: Optional[List[ControllerDecision]] = (
+            [] if record_decisions else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self._remaining <= 0 and not self._restart_queue
+
+    @property
+    def n_submitted(self) -> int:
+        """Jobs handed to the engine so far."""
+        return len(self.submitted)
+
+    @property
+    def preemptible(self) -> bool:
+        return self._preemptible
+
+    def on_preempted(self, jobs: List[Job], t: float) -> None:
+        """Account for killed jobs.
+
+        Without checkpointing the whole job must rerun (full
+        re-credit).  With checkpointing only the unfinished remainder
+        is queued for restart; completed work is preserved.
+        """
+        self.n_preempted += len(jobs)
+        if not self._checkpointing:
+            if math.isfinite(self._remaining):
+                self._remaining += len(jobs)
+            return
+        for job in jobs:
+            killed_at = job.finish_time if job.finish_time is not None else t
+            started_at = (
+                job.start_time if job.start_time is not None else killed_at
+            )
+            elapsed = max(0.0, killed_at - started_at)
+            self.work_preserved_cpu_s += job.cpus * elapsed
+            remainder = job.runtime - elapsed
+            if remainder >= self.MIN_RESTART_RUNTIME:
+                self._restart_queue.append(remainder)
+
+    def offer(
+        self, t: float, cluster: ClusterState, scheduler: "Scheduler"
+    ) -> List[Job]:
+        if t < self.start_time or self.exhausted:
+            return []
+        size = self.project.cpus_per_job
+        count = cluster.free_cpus // size
+        if count <= 0:
+            self._log(t, cluster, scheduler, 0, "no_room")
+            return []
+        # Figure-1 gate: only feed when the native queue is empty or the
+        # head job cannot (by estimates) start within one interstitial
+        # runtime, so our jobs finish before it needs the CPUs.
+        if scheduler.queue_length > 0:
+            wall = scheduler.head_start_estimate(t, cluster)
+            if wall - t <= self.runtime:
+                self._log(t, cluster, scheduler, 0, "head_imminent")
+                return []
+        if self.max_utilization is not None:
+            budget = (
+                math.floor(self.max_utilization * cluster.total_cpus)
+                - cluster.busy_cpus
+            )
+            count = min(count, budget // size)
+            if count <= 0:
+                self._log(t, cluster, scheduler, 0, "cap_blocked")
+                return []
+        # Checkpointed fragments restart ahead of fresh jobs.
+        jobs: List[Job] = []
+        while self._restart_queue and len(jobs) < count:
+            remainder = self._restart_queue.pop(0)
+            jobs.append(
+                Job(
+                    cpus=size,
+                    runtime=remainder,
+                    estimate=remainder,
+                    submit_time=t,
+                    user=self.project.user,
+                    group=self.project.group,
+                    kind=JobKind.INTERSTITIAL,
+                )
+            )
+        fresh = count - len(jobs)
+        if math.isfinite(self._remaining):
+            fresh = min(fresh, int(self._remaining))
+        if fresh > 0:
+            jobs.extend(
+                self.project.make_jobs(self.machine, fresh, submit_time=t)
+            )
+            self._remaining -= fresh
+        self.submitted.extend(jobs)
+        self._log(t, cluster, scheduler, len(jobs), "submitted")
+        return jobs
+
+    # ------------------------------------------------------------------
+    def _log(
+        self,
+        t: float,
+        cluster: ClusterState,
+        scheduler: "Scheduler",
+        n_submitted: int,
+        reason: str,
+    ) -> None:
+        if self.decisions is None:
+            return
+        self.decisions.append(
+            ControllerDecision(
+                time=t,
+                free_cpus=cluster.free_cpus,
+                queue_length=scheduler.queue_length,
+                n_submitted=n_submitted,
+                reason=reason,
+            )
+        )

@@ -1,0 +1,193 @@
+"""Project-design guidelines (paper §5 "Discussion").
+
+The paper closes with practical characteristics of a successful
+interstitial computing project: job width must stay well below the
+machine's typical free pool (breakage), job runtime must stay short
+relative to native queue dynamics (delay bound ≈ one interstitial
+runtime, re-prioritization poaching), and facilities that care about
+their largest native jobs should cap submission by utilization.
+
+:func:`advise` turns those rules into a machine-checkable report for a
+concrete (machine, utilization, project) triple, and
+:func:`recommend_width` picks the widest job size that keeps breakage
+under a tolerance — the "how should I shape my sweep" question every
+interstitial user has.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.jobs import InterstitialProject
+from repro.machines import Machine
+from repro.theory.breakage import breakage_factor
+from repro.theory.makespan import ideal_makespan_for
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class Advice:
+    """The guideline evaluation of one project on one machine.
+
+    Attributes
+    ----------
+    ok:
+        True when every guideline passes.
+    breakage:
+        The analytic breakage factor for the project's width.
+    expected_makespan_s:
+        Breakage-corrected ideal makespan.
+    max_native_delay_s:
+        The paper's per-event delay bound: one interstitial runtime
+        (cascades can exceed it; this is the first-order bound).
+    warnings:
+        Human-readable guideline violations (empty when ``ok``).
+    """
+
+    ok: bool
+    breakage: float
+    expected_makespan_s: float
+    max_native_delay_s: float
+    warnings: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        lines = [
+            f"breakage factor: {self.breakage:.3f}",
+            f"expected makespan: {self.expected_makespan_s / HOUR:.1f} h",
+            "max per-event native delay: "
+            f"{self.max_native_delay_s:.0f} s",
+        ]
+        if self.warnings:
+            lines.append("guideline violations:")
+            lines.extend(f"  - {w}" for w in self.warnings)
+        else:
+            lines.append("all guidelines satisfied")
+        return "\n".join(lines)
+
+
+#: Default guideline thresholds (tunable per facility).
+MAX_BREAKAGE = 1.10
+MAX_WIDTH_FREE_POOL_FRACTION = 0.25
+MAX_RUNTIME_S = 2.0 * HOUR
+MAX_MAKESPAN_LOG_FRACTION = 0.5
+
+
+def advise(
+    machine: Machine,
+    project: InterstitialProject,
+    utilization: float,
+    log_duration_s: Optional[float] = None,
+    max_breakage: float = MAX_BREAKAGE,
+    max_width_fraction: float = MAX_WIDTH_FREE_POOL_FRACTION,
+    max_runtime_s: float = MAX_RUNTIME_S,
+) -> Advice:
+    """Evaluate the paper's §5 guidelines for a project.
+
+    Parameters
+    ----------
+    machine, project:
+        The pairing to evaluate.
+    utilization:
+        Average native utilization of the machine (measured or from
+        Table-1 style accounting).
+    log_duration_s:
+        Optional campaign deadline / log length; when given, warns if
+        the expected makespan exceeds half of it (projects that
+        straddle most of a log inherit its worst utilization stretches
+        — the paper's Figure 3 tail).
+    max_breakage, max_width_fraction, max_runtime_s:
+        Facility-tunable thresholds.
+    """
+    if not (0.0 <= utilization < 1.0):
+        raise ValidationError(
+            f"utilization must be in [0, 1): {utilization}"
+        )
+    warnings: List[str] = []
+    free_pool = machine.cpus * (1.0 - utilization)
+    width = project.cpus_per_job
+    runtime = project.runtime_on(machine)
+
+    breakage = breakage_factor(machine.cpus, utilization, width)
+    if math.isinf(breakage):
+        warnings.append(
+            f"jobs of {width} CPUs exceed the average free pool "
+            f"({free_pool:.0f} CPUs): the project only progresses "
+            "during utilization dips"
+        )
+    elif breakage > max_breakage:
+        warnings.append(
+            f"breakage {breakage:.3f} exceeds {max_breakage:.2f}: "
+            f"shrink jobs below {free_pool:.0f}-CPU-pool granularity "
+            f"(try {recommend_width(machine, utilization)} CPUs)"
+        )
+    if width > max_width_fraction * free_pool:
+        warnings.append(
+            f"width {width} is over {max_width_fraction:.0%} of the "
+            f"average free pool ({free_pool:.0f} CPUs); submission "
+            "opportunities will be scarce"
+        )
+    if runtime > max_runtime_s:
+        warnings.append(
+            f"per-job runtime {runtime:.0f} s exceeds {max_runtime_s:.0f} s: "
+            "native jobs can be delayed by up to one interstitial "
+            "runtime per event, and re-prioritization cascades grow "
+            "with it (paper §4.3.2.1)"
+        )
+
+    expected = ideal_makespan_for(project, machine, utilization)
+    if math.isfinite(breakage):
+        expected *= breakage
+    else:
+        expected = math.inf
+    if (
+        log_duration_s is not None
+        and math.isfinite(expected)
+        and expected > MAX_MAKESPAN_LOG_FRACTION * log_duration_s
+    ):
+        warnings.append(
+            f"expected makespan {expected / HOUR:.0f} h exceeds "
+            f"{MAX_MAKESPAN_LOG_FRACTION:.0%} of the campaign window "
+            f"({log_duration_s / HOUR:.0f} h): expect a heavy right "
+            "tail (paper Figure 3)"
+        )
+
+    return Advice(
+        ok=not warnings,
+        breakage=breakage,
+        expected_makespan_s=expected,
+        max_native_delay_s=runtime,
+        warnings=tuple(warnings),
+    )
+
+
+def recommend_width(
+    machine: Machine,
+    utilization: float,
+    max_breakage: float = MAX_BREAKAGE,
+    candidates: Optional[Tuple[int, ...]] = None,
+) -> int:
+    """Widest power-of-two job size whose breakage stays under the
+    tolerance.
+
+    Wider jobs mean fewer of them (less scheduler overhead, fewer
+    result files) so users want the *largest* width that still tiles
+    the free pool cleanly.
+    """
+    if not (0.0 <= utilization < 1.0):
+        raise ValidationError(
+            f"utilization must be in [0, 1): {utilization}"
+        )
+    if candidates is None:
+        top = max(1, int(machine.cpus * (1.0 - utilization)))
+        candidates = tuple(
+            2 ** k for k in range(int(math.log2(top)) + 1)
+        )
+    best = 1
+    for width in sorted(candidates):
+        factor = breakage_factor(machine.cpus, utilization, width)
+        if math.isfinite(factor) and factor <= max_breakage:
+            best = max(best, width)
+    return best

@@ -1,0 +1,156 @@
+"""High-level one-call experiment runners.
+
+These wrap machine presets, scheduler construction, trace copying and
+the engine into the handful of configurations the paper evaluates.  All
+runners copy the input trace so the same trace can be replayed through
+many configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import InterstitialController
+from repro.core.omniscient import OmniscientPacking, pack_project
+from repro.jobs import InterstitialProject, Job
+from repro.machines import Machine
+from repro.sched.base import Scheduler
+from repro.sched.presets import scheduler_for
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.outages import OutageSchedule
+from repro.sim.results import SimResult
+
+
+def _copy_trace(trace: Iterable[Job]) -> List[Job]:
+    return [job.copy_unscheduled() for job in trace]
+
+
+def _trace_end(trace: Sequence[Job]) -> float:
+    return max((job.submit_time for job in trace), default=0.0)
+
+
+def run_native(
+    machine: Machine,
+    trace: Sequence[Job],
+    scheduler: Optional[Scheduler] = None,
+    outages: Optional[OutageSchedule] = None,
+    horizon: Optional[float] = None,
+) -> SimResult:
+    """Replay the native trace with no interstitial jobs (the baseline
+    every experiment compares against)."""
+    engine = Engine(
+        machine=machine,
+        scheduler=scheduler or scheduler_for(machine),
+        trace=_copy_trace(trace),
+        outages=outages,
+        config=SimConfig(horizon=horizon),
+    )
+    return engine.run()
+
+
+def run_with_controller(
+    machine: Machine,
+    trace: Sequence[Job],
+    controller: InterstitialController,
+    scheduler: Optional[Scheduler] = None,
+    outages: Optional[OutageSchedule] = None,
+    horizon: Optional[float] = None,
+) -> SimResult:
+    """Replay the native trace alongside a configured interstitial
+    controller (finite project, continual or limited)."""
+    engine = Engine(
+        machine=machine,
+        scheduler=scheduler or scheduler_for(machine),
+        trace=_copy_trace(trace),
+        interstitial=controller,
+        outages=outages,
+        config=SimConfig(horizon=horizon),
+    )
+    return engine.run()
+
+
+def run_continual(
+    machine: Machine,
+    trace: Sequence[Job],
+    project: InterstitialProject,
+    max_utilization: Optional[float] = None,
+    scheduler: Optional[Scheduler] = None,
+    outages: Optional[OutageSchedule] = None,
+    horizon: Optional[float] = None,
+) -> Tuple[SimResult, InterstitialController]:
+    """Continual interstitial computing (§4.3.2): feed interstitial jobs
+    from the start of the run until ``horizon`` (default: last native
+    submission), optionally under a utilization cap (§4.3.2.2)."""
+    controller = InterstitialController(
+        machine=machine,
+        project=project,
+        continual=True,
+        max_utilization=max_utilization,
+    )
+    if horizon is None:
+        horizon = _trace_end(trace)
+    result = run_with_controller(
+        machine,
+        trace,
+        controller,
+        scheduler=scheduler,
+        outages=outages,
+        horizon=horizon,
+    )
+    return result, controller
+
+
+def run_single_project(
+    machine: Machine,
+    trace: Sequence[Job],
+    project: InterstitialProject,
+    start_time: float,
+    scheduler: Optional[Scheduler] = None,
+    outages: Optional[OutageSchedule] = None,
+) -> Tuple[SimResult, InterstitialController]:
+    """Drop one finite project into the job stream at ``start_time``
+    (§4.3.1 without the continual-sampling shortcut)."""
+    controller = InterstitialController(
+        machine=machine,
+        project=project,
+        start_time=start_time,
+    )
+    result = run_with_controller(
+        machine, trace, controller, scheduler=scheduler, outages=outages
+    )
+    return result, controller
+
+
+def run_omniscient_samples(
+    machine: Machine,
+    trace: Sequence[Job],
+    project: InterstitialProject,
+    n_samples: int = 20,
+    rng: Optional[np.random.Generator] = None,
+    native_result: Optional[SimResult] = None,
+    scheduler: Optional[Scheduler] = None,
+    outages: Optional[OutageSchedule] = None,
+) -> Tuple[np.ndarray, List[OmniscientPacking]]:
+    """The §4.1 experiment: pack the project omnisciently at
+    ``n_samples`` random start times within the native log; returns the
+    makespans (seconds) and the packings.
+
+    The (expensive) native-only simulation is run once and reused; pass
+    ``native_result`` to share it across project sizes.
+    """
+    rng = rng or np.random.default_rng(0)
+    if native_result is None:
+        native_result = run_native(
+            machine, trace, scheduler=scheduler, outages=outages
+        )
+    t_end = _trace_end(trace)
+    makespans = np.empty(n_samples)
+    packings: List[OmniscientPacking] = []
+    for i in range(n_samples):
+        start = float(rng.uniform(0.0, t_end)) if t_end > 0 else 0.0
+        packing = pack_project(native_result, project, start_time=start)
+        makespans[i] = packing.makespan
+        packings.append(packing)
+    return makespans, packings

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the simulator may raise with a single except clause while
+still being able to discriminate configuration problems from runtime
+scheduling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class ValidationError(ConfigurationError):
+    """A value failed validation (negative width, non-finite time, ...)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached an impossible state (double allocation, ...)."""
+
+
+class CapacityError(SchedulingError):
+    """An allocation was attempted that exceeds available capacity."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file could not be parsed."""

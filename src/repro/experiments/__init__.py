@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Every driver exposes ``run(scale) -> TableResult`` producing exactly the
+rows/series the paper reports (at a configurable scale) and is wrapped
+by a benchmark in ``benchmarks/`` and by the ``repro`` CLI.
+
+Scaling: the paper's logs span 40-84 days and its largest project is a
+million jobs; ``ExperimentScale`` shrinks log length, job counts and
+project sizes together so the shape-defining ratios (utilization, job
+mix, P/(NC(1-U))) are preserved while everything runs on a laptop.  Set
+``REPRO_BENCH_SCALE=paper`` for full-scale runs.
+"""
+
+from repro.experiments.config import (
+    SCALES,
+    ExperimentScale,
+    current_scale,
+)
+from repro.experiments.common import (
+    TableResult,
+    continual_result_for,
+    native_result_for,
+    rng_for,
+    trace_for,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "current_scale",
+    "TableResult",
+    "trace_for",
+    "native_result_for",
+    "continual_result_for",
+    "rng_for",
+]

@@ -1,0 +1,88 @@
+"""Ablation — harvest efficiency of the Figure-1 algorithm.
+
+How close does the paper's fallible, estimate-driven controller come to
+the *omniscient continual bound* — the number of interstitial jobs that
+provably fit into the native headroom with zero impact?  The gap is the
+price of (a) the conservative ``backfillWallTime`` gate, (b) bad user
+estimates inhibiting submission, and (c) actually perturbing the
+natives (which reshapes the holes).
+
+One row per machine for the standard 32-CPU x 120 s @ 1 GHz stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.omniscient import pack_continual
+from repro.experiments.common import (
+    MACHINE_LABELS,
+    MACHINE_ORDER,
+    TableResult,
+    continual_result_for,
+    machine_for,
+    native_result_for,
+    trace_for,
+)
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.jobs import JobKind
+from repro.units import normalize_runtime
+
+CPUS = 32
+RUNTIME_1GHZ = 120.0
+
+
+def run(scale: ExperimentScale = None) -> TableResult:
+    scale = scale or current_scale()
+    result = TableResult(
+        exp_id="ablation_efficiency",
+        title=(
+            "Ablation: Figure-1 harvest efficiency vs the omniscient "
+            f"zero-impact bound ({CPUS}CPU x 120s@1GHz, "
+            f"scale={scale.name})"
+        ),
+        headers=[
+            "machine",
+            "omniscient bound (jobs)",
+            "fallible controller (jobs)",
+            "efficiency",
+        ],
+    )
+    for name in MACHINE_ORDER:
+        machine = machine_for(name)
+        trace = trace_for(name, scale)
+        native = native_result_for(name, scale)
+        runtime = normalize_runtime(RUNTIME_1GHZ, machine.clock_ghz)
+        bound, _ = pack_continual(
+            native, CPUS, runtime, horizon=trace.duration
+        )
+        loaded, _ = continual_result_for(name, scale, CPUS, RUNTIME_1GHZ)
+        achieved = len(loaded.jobs(JobKind.INTERSTITIAL))
+        efficiency = achieved / bound if bound else 0.0
+        result.rows.append(
+            [
+                MACHINE_LABELS[name],
+                str(bound),
+                str(achieved),
+                f"{efficiency:.0%}",
+            ]
+        )
+        result.data[name] = {
+            "bound": bound,
+            "achieved": achieved,
+            "efficiency": efficiency,
+        }
+    result.notes.append(
+        "Efficiency near (or above) 100% means the Figure-1 gate "
+        "captures essentially all zero-impact cycles; values above "
+        "100% are possible because the fallible controller also uses "
+        "capacity freed by *delaying* natives, which the zero-impact "
+        "bound by definition cannot."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,196 @@
+"""Shared infrastructure for experiment drivers.
+
+Traces, native baseline runs and continual interstitial runs are
+process-cached by (machine, scale, parameters): many tables reuse the
+same Blue Mountain continual log, and the caching is what makes running
+the full bench suite tractable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import InterstitialController
+from repro.core.runners import run_native, run_with_controller
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentScale
+from repro.jobs import InterstitialProject
+from repro.machines import Machine, preset
+from repro.machines.presets import preset_names
+from repro.metrics.tables import format_table
+from repro.sim.results import SimResult
+from repro.workload.synthetic import synthetic_trace_for
+from repro.workload.trace import Trace
+
+#: Interstitial accounting identity used by all experiments.
+INTERSTITIAL_USER = "interstitial"
+
+_trace_cache: Dict[Tuple[str, str], Trace] = {}
+_native_cache: Dict[Tuple[str, str], SimResult] = {}
+_continual_cache: Dict[
+    Tuple[str, str, int, float, Optional[float]],
+    Tuple[SimResult, InterstitialController],
+] = {}
+
+
+def rng_for(scale: ExperimentScale, salt: str) -> np.random.Generator:
+    """Deterministic generator derived from the scale seed and a label."""
+    return np.random.default_rng(
+        (scale.seed, zlib.crc32(salt.encode("utf-8")))
+    )
+
+
+def trace_for(machine_name: str, scale: ExperimentScale) -> Trace:
+    """The (cached) synthetic native trace for a preset machine."""
+    if machine_name not in preset_names():
+        raise ConfigurationError(f"unknown machine {machine_name!r}")
+    key = (machine_name, scale.name)
+    if key not in _trace_cache:
+        _trace_cache[key] = synthetic_trace_for(
+            machine_name,
+            rng=rng_for(scale, f"trace:{machine_name}"),
+            scale=scale.trace_scale,
+        )
+    return _trace_cache[key]
+
+
+def native_result_for(
+    machine_name: str, scale: ExperimentScale
+) -> SimResult:
+    """The (cached) native-only baseline run for a preset machine."""
+    key = (machine_name, scale.name)
+    if key not in _native_cache:
+        trace = trace_for(machine_name, scale)
+        machine = preset(machine_name)
+        _native_cache[key] = run_native(
+            machine, trace.jobs, horizon=trace.duration
+        )
+    return _native_cache[key]
+
+
+def continual_result_for(
+    machine_name: str,
+    scale: ExperimentScale,
+    cpus_per_job: int,
+    runtime_1ghz: float,
+    max_utilization: Optional[float] = None,
+) -> Tuple[SimResult, InterstitialController]:
+    """The (cached) continual-interstitial run for one job shape."""
+    key = (machine_name, scale.name, cpus_per_job, runtime_1ghz,
+           max_utilization)
+    if key not in _continual_cache:
+        trace = trace_for(machine_name, scale)
+        machine = preset(machine_name)
+        project = InterstitialProject(
+            n_jobs=1,  # placeholder; the controller feeds continually
+            cpus_per_job=cpus_per_job,
+            runtime_1ghz=runtime_1ghz,
+            name=f"continual-{cpus_per_job}x{runtime_1ghz:.0f}",
+            user=INTERSTITIAL_USER,
+            group=INTERSTITIAL_USER,
+        )
+        controller = InterstitialController(
+            machine=machine,
+            project=project,
+            continual=True,
+            max_utilization=max_utilization,
+        )
+        result = run_with_controller(
+            machine,
+            trace.jobs,
+            controller,
+            horizon=trace.duration,
+        )
+        _continual_cache[key] = (result, controller)
+    return _continual_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached traces/runs (test isolation)."""
+    _trace_cache.clear()
+    _native_cache.clear()
+    _continual_cache.clear()
+
+
+def machine_for(machine_name: str) -> Machine:
+    """Preset machine lookup (thin alias kept for driver readability)."""
+    return preset(machine_name)
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment: paper-style rows plus raw data for tests.
+
+    ``data`` carries machine-readable values (arrays, floats) keyed by
+    descriptive names so tests and downstream analysis don't parse the
+    formatted cells.
+    """
+
+    exp_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text table with title and footnotes."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+
+def fmt_h(seconds: float) -> str:
+    """Format seconds as hours with one decimal."""
+    return f"{seconds / 3600.0:.1f}"
+
+
+def fmt_pm_h(mean_s: float, std_s: float) -> str:
+    """Format a mean±std pair (seconds in, hours out)."""
+    return f"{mean_s / 3600.0:.1f} ± {std_s / 3600.0:.1f}"
+
+
+def fmt_k(seconds: float) -> str:
+    """Format seconds the paper's 'k' way (e.g. 4.4k) below 100k."""
+    if seconds >= 999.5:
+        return f"{seconds / 1000.0:.1f}k"
+    return f"{seconds:.0f}"
+
+
+def scaled_kjobs(kjobs: float, scale: ExperimentScale) -> int:
+    """Scale a paper job count given in thousands; at least one job."""
+    return max(1, round(kjobs * 1000 * scale.project_scale))
+
+
+def project_from(
+    kjobs: float,
+    cpus: int,
+    runtime_1ghz: float,
+    scale: ExperimentScale,
+    name: str = "",
+) -> InterstitialProject:
+    """Build the scaled version of a paper project configuration."""
+    return InterstitialProject(
+        n_jobs=scaled_kjobs(kjobs, scale),
+        cpus_per_job=cpus,
+        runtime_1ghz=runtime_1ghz,
+        name=name or f"{kjobs:g}k x {cpus}CPU x {runtime_1ghz:.0f}s@1GHz",
+        user=INTERSTITIAL_USER,
+        group=INTERSTITIAL_USER,
+    )
+
+
+#: The three machines in the paper's column order.
+MACHINE_ORDER: Sequence[str] = ("ross", "blue_mountain", "blue_pacific")
+
+#: Pretty names for table headers.
+MACHINE_LABELS: Dict[str, str] = {
+    "ross": "Ross",
+    "blue_mountain": "Blue Mt.",
+    "blue_pacific": "Blue Pacific",
+}

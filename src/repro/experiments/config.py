@@ -1,0 +1,98 @@
+"""Experiment scaling presets.
+
+``trace_scale`` multiplies log length and native job count;
+``project_scale`` multiplies interstitial project sizes (peta-cycles /
+job counts).  Scaling both keeps a project's makespan the same fraction
+of the log as in the paper, so continual runs and sampled short
+projects stay statistically meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+#: Environment variable selecting the scale preset for benchmarks.
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One scaling preset.
+
+    Parameters
+    ----------
+    name:
+        Preset label.
+    trace_scale:
+        Fraction of the paper's log length / native job count.
+    project_scale:
+        Fraction of the paper's interstitial project sizes.
+    omniscient_samples:
+        Random drop-in start times per omniscient config (paper: 20).
+    sampled_projects:
+        Short-project samples extracted per continual log (paper: 500).
+    seed:
+        Root seed; every experiment derives its generator from it.
+    """
+
+    name: str
+    trace_scale: float
+    project_scale: float
+    omniscient_samples: int
+    sampled_projects: int
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.trace_scale <= 1.0):
+            raise ConfigurationError(
+                f"trace_scale must be in (0, 1]: {self.trace_scale}"
+            )
+        if not (0.0 < self.project_scale <= 1.0):
+            raise ConfigurationError(
+                f"project_scale must be in (0, 1]: {self.project_scale}"
+            )
+        if self.omniscient_samples <= 0 or self.sampled_projects <= 0:
+            raise ConfigurationError("sample counts must be positive")
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    # Smoke-test speed: minutes-long traces, tiny projects.
+    "quick": ExperimentScale(
+        name="quick",
+        trace_scale=0.05,
+        project_scale=0.03,
+        omniscient_samples=5,
+        sampled_projects=60,
+    ),
+    # Laptop default: ~2-week traces; preserves every shape claim.
+    "default": ExperimentScale(
+        name="default",
+        trace_scale=0.15,
+        project_scale=0.10,
+        omniscient_samples=10,
+        sampled_projects=200,
+    ),
+    # Full paper scale (expect tens of minutes per bench).
+    "paper": ExperimentScale(
+        name="paper",
+        trace_scale=1.0,
+        project_scale=1.0,
+        omniscient_samples=20,
+        sampled_projects=500,
+    ),
+}
+
+
+def current_scale() -> ExperimentScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default: default)."""
+    name = os.environ.get(SCALE_ENV_VAR, "default")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{SCALE_ENV_VAR}={name!r} is not one of {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,93 @@
+"""Registry of all experiment drivers, keyed by CLI name.
+
+Single source of truth consumed by the CLI, the report generator and
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation_caps,
+    ablation_efficiency,
+    ablation_estimates,
+    ablation_load,
+    ablation_predictor,
+    ablation_preemption,
+    ablation_width,
+    cascade_analysis,
+    fig2,
+    fig3,
+    fig4,
+    fig4_outages,
+    fig5,
+    fig6,
+    fit_theory,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8_limited,
+    table8_ross,
+)
+
+#: CLI name -> driver ``run`` callable.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8-ross": table8_ross.run,
+    "table8-limited": table8_limited.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig4-outages": fig4_outages.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fit-theory": fit_theory.run,
+    "cascade-analysis": cascade_analysis.run,
+    "ablation-caps": ablation_caps.run,
+    "ablation-efficiency": ablation_efficiency.run,
+    "ablation-estimates": ablation_estimates.run,
+    "ablation-load": ablation_load.run,
+    "ablation-predictor": ablation_predictor.run,
+    "ablation-preemption": ablation_preemption.run,
+    "ablation-width": ablation_width.run,
+}
+
+#: Paper artifacts in presentation order (tables/figures before
+#: extensions), used by the report generator.
+REPORT_ORDER = (
+    "table1",
+    "table2",
+    "fit-theory",
+    "table3",
+    "fig2",
+    "table4",
+    "fig3",
+    "table5",
+    "table6",
+    "table7",
+    "table8-ross",
+    "table8-limited",
+    "fig4",
+    "fig4-outages",
+    "fig5",
+    "fig6",
+    "cascade-analysis",
+    "ablation-estimates",
+    "ablation-predictor",
+    "ablation-preemption",
+    "ablation-width",
+    "ablation-caps",
+    "ablation-load",
+    "ablation-efficiency",
+)

@@ -1,0 +1,18 @@
+"""Job and interstitial-project models.
+
+This package defines the two fundamental workload objects of the
+reproduction:
+
+* :class:`~repro.jobs.job.Job` — a rigid, non-preemptive batch job (native
+  or interstitial) with submit time, width (CPUs), actual runtime and the
+  user's (usually grossly overestimated) runtime estimate;
+* :class:`~repro.jobs.project.InterstitialProject` — the paper's unit of
+  interstitial work: a fixed number of identical small jobs defined by
+  CPUs/job and a runtime normalized to a 1 GHz processor, sized in
+  peta-cycles.
+"""
+
+from repro.jobs.job import Job, JobKind, JobState
+from repro.jobs.project import InterstitialProject
+
+__all__ = ["Job", "JobKind", "JobState", "InterstitialProject"]

@@ -1,0 +1,20 @@
+"""Machine models and the paper's ASCI machine presets (Table 1)."""
+
+from repro.machines.machine import Machine, ProcessorGroup
+from repro.machines.presets import (
+    blue_mountain,
+    blue_pacific,
+    preset,
+    preset_names,
+    ross,
+)
+
+__all__ = [
+    "Machine",
+    "ProcessorGroup",
+    "ross",
+    "blue_mountain",
+    "blue_pacific",
+    "preset",
+    "preset_names",
+]

@@ -1,0 +1,153 @@
+"""The paper's three ASCI machines (Table 1).
+
+============  =========  =============  ============
+              Ross       Blue Mountain  Blue Pacific
+============  =========  =============  ============
+Site          Sandia     Los Alamos     Livermore
+CPUs          1436       4662           926
+clock GHz     0.588*     0.262          0.369
+TCycles       0.844      1.221          0.342
+Utilization   .631       .790           .907
+log days      40.7       84.2           63
+log jobs      4 423      7 763          12 761
+Queue system  PBS        LSF            DPCS
+============  =========  =============  ============
+
+``*`` Ross is heterogeneous: 256 CPUs @ 533 MHz + 1180 CPUs @ 600 MHz
+(effective 0.588 GHz).
+
+Each preset also records the *workload targets* (utilization, trace
+length, job count) needed to calibrate the synthetic trace generators in
+:mod:`repro.workload.synthetic`, since the original logs are proprietary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.machines.machine import Machine, ProcessorGroup
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class WorkloadTargets:
+    """Aggregate statistics of a machine's native log (from Table 1 plus
+    the job-mix facts reported in the paper's text)."""
+
+    #: Average native utilization over the log.
+    utilization: float
+    #: Log length in seconds.
+    duration_s: float
+    #: Number of native jobs in the log.
+    n_jobs: int
+    #: Median actual runtime in seconds (paper: 0.8 h on Blue Mountain).
+    median_runtime_s: float
+    #: Median user estimate in seconds (paper: 6 h on Blue Mountain).
+    median_estimate_s: float
+    #: Largest native job width as a fraction of the machine.
+    max_width_fraction: float
+
+
+_TARGETS: Dict[str, WorkloadTargets] = {
+    "ross": WorkloadTargets(
+        utilization=0.631,
+        duration_s=40.7 * DAY,
+        n_jobs=4423,
+        # Ross users "can submit very long jobs (on the order of weeks)";
+        # widths comparable to Blue Mountain's mix scaled to 1436 CPUs.
+        median_runtime_s=1.0 * 3600.0,
+        median_estimate_s=8.0 * 3600.0,
+        max_width_fraction=0.5,
+    ),
+    "blue_mountain": WorkloadTargets(
+        utilization=0.790,
+        duration_s=84.2 * DAY,
+        n_jobs=7763,
+        # Paper: median actual 0.8 h, median estimate 6 h, mean actual
+        # 2.5 h, mean estimate 7.2 h.  Large, long jobs dominate area.
+        median_runtime_s=0.8 * 3600.0,
+        median_estimate_s=6.0 * 3600.0,
+        max_width_fraction=0.5,
+    ),
+    "blue_pacific": WorkloadTargets(
+        utilization=0.907,
+        duration_s=63.0 * DAY,
+        n_jobs=12761,
+        # Paper: Blue Pacific natives are "relatively smaller and shorter"
+        # so the machine turns over quickly despite .907 utilization.
+        median_runtime_s=0.5 * 3600.0,
+        median_estimate_s=4.0 * 3600.0,
+        max_width_fraction=0.25,
+    ),
+}
+
+
+def ross() -> Machine:
+    """ASCI Ross at Sandia: 1436 CPUs, PBS, equal-share queueing."""
+    return Machine(
+        name="Ross",
+        groups=(
+            ProcessorGroup(256, 0.533),
+            ProcessorGroup(1180, 0.600),
+        ),
+        site="Sandia",
+        queue_algorithm="PBS",
+    )
+
+
+def blue_mountain() -> Machine:
+    """ASCI Blue Mountain at Los Alamos: 4662 CPUs, LSF, hierarchical
+    group-level fair share."""
+    return Machine(
+        name="Blue Mountain",
+        cpus=4662,
+        clock_ghz=0.262,
+        site="Los Alamos",
+        queue_algorithm="LSF",
+    )
+
+
+def blue_pacific() -> Machine:
+    """ASCI Blue Pacific at Livermore (926-CPU large partition): DPCS with
+    user+group fair share and time-of-day constraints."""
+    return Machine(
+        name="Blue Pacific",
+        cpus=926,
+        clock_ghz=0.369,
+        site="Livermore",
+        queue_algorithm="DPCS",
+    )
+
+
+_PRESETS: Dict[str, Callable[[], Machine]] = {
+    "ross": ross,
+    "blue_mountain": blue_mountain,
+    "blue_pacific": blue_pacific,
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`preset` and :func:`targets`."""
+    return tuple(_PRESETS)
+
+
+def preset(name: str) -> Machine:
+    """Look up a machine preset by name (``ross``, ``blue_mountain``,
+    ``blue_pacific``)."""
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; choose from {preset_names()}"
+        ) from None
+
+
+def targets(name: str) -> WorkloadTargets:
+    """Workload-calibration targets for a preset machine."""
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; choose from {preset_names()}"
+        ) from None

@@ -1,0 +1,58 @@
+"""Performance metrics over simulation results.
+
+Everything the paper's tables and figures report: wait-time statistics
+(median/mean, all jobs and the 5 % largest by CPU-seconds), expansion
+factors, makespan distributions, utilization time series and log10
+wait-time histograms — plus plain-text table rendering for the
+benchmark harness.
+"""
+
+from repro.metrics.histograms import (
+    LOG10_WAIT_BINS,
+    cdf,
+    log10_wait_histogram,
+)
+from repro.metrics.ascii_plots import histogram_rows, scatter, sparkline
+from repro.metrics.cascade import CascadeReport, cascade_report, extra_waits
+from repro.metrics.makespan import MakespanStats, makespan_stats
+from repro.metrics.slowdown import (
+    UserImpact,
+    bounded_slowdowns,
+    impact_concentration,
+    per_user_impact,
+)
+from repro.metrics.tables import format_table
+from repro.metrics.utilization import hourly_utilization, utilization_summary
+from repro.metrics.waits import (
+    WaitStats,
+    expansion_factors,
+    largest_fraction,
+    wait_stats,
+    wait_times,
+)
+
+__all__ = [
+    "WaitStats",
+    "wait_stats",
+    "wait_times",
+    "expansion_factors",
+    "largest_fraction",
+    "MakespanStats",
+    "makespan_stats",
+    "hourly_utilization",
+    "utilization_summary",
+    "log10_wait_histogram",
+    "LOG10_WAIT_BINS",
+    "cdf",
+    "format_table",
+    "bounded_slowdowns",
+    "per_user_impact",
+    "impact_concentration",
+    "UserImpact",
+    "cascade_report",
+    "extra_waits",
+    "CascadeReport",
+    "sparkline",
+    "histogram_rows",
+    "scatter",
+]

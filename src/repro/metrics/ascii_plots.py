@@ -1,0 +1,112 @@
+"""Terminal renderings of the paper's figures.
+
+The bench harness is text-only, so the figure drivers attach compact
+Unicode renderings: :func:`sparkline` for time series (Figure 4's
+utilization panels), :func:`hbar` rows for histograms (Figures 5/6) and
+:func:`scatter` for the Figure 2 theory-vs-actual cloud.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Eight-level block characters, lowest to highest.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Iterable[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render a series as a one-line block-character sparkline.
+
+    Values are scaled into ``[lo, hi]`` (defaulting to the data range);
+    with ``width`` the series is first averaged into that many buckets.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValidationError("cannot sparkline an empty series")
+    if width is not None and width > 0 and data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo = float(data.min()) if lo is None else float(lo)
+    hi = float(data.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _BLOCKS[-1] * data.size
+    span = hi - lo
+    out = []
+    for v in np.clip(data, lo, hi):
+        idx = int(round((v - lo) / span * (len(_BLOCKS) - 1)))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def hbar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """A horizontal bar of ``fraction`` (clipped to [0, 1]) of ``width``."""
+    if width <= 0:
+        raise ValidationError(f"width must be positive: {width}")
+    fraction = min(1.0, max(0.0, fraction))
+    n = int(round(fraction * width))
+    return fill * n + "." * (width - n)
+
+
+def histogram_rows(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 30,
+) -> List[str]:
+    """Render a histogram as aligned ``label |#####  0.42`` rows,
+    normalized to the largest bin."""
+    if len(labels) != len(values):
+        raise ValidationError("labels and values length mismatch")
+    if not labels:
+        return []
+    peak = max(values) or 1.0
+    label_w = max(len(label) for label in labels)
+    return [
+        f"{label.ljust(label_w)} |{hbar(v / peak, width)} {v:.3f}"
+        for label, v in zip(labels, values)
+    ]
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    rows: int = 12,
+    cols: int = 48,
+    marker: str = "o",
+    diagonal: bool = True,
+) -> List[str]:
+    """Plot (x, y) points on a character grid (origin bottom-left).
+
+    With ``diagonal`` the y=x line is drawn with ``/`` so theory-vs-
+    actual clouds (Figure 2) show their relation to the ideal.
+    """
+    if rows < 2 or cols < 2:
+        raise ValidationError("grid must be at least 2x2")
+    if not points:
+        return []
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    hi = max(xs.max(), ys.max())
+    lo = 0.0
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * cols for _ in range(rows)]
+    if diagonal:
+        for c in range(cols):
+            x = lo + (c + 0.5) / cols * (hi - lo)
+            r = int((x - lo) / (hi - lo) * (rows - 1))
+            grid[rows - 1 - min(r, rows - 1)][c] = "/"
+    for x, y in zip(xs, ys):
+        c = int((x - lo) / (hi - lo) * (cols - 1))
+        r = int((min(y, hi) - lo) / (hi - lo) * (rows - 1))
+        grid[rows - 1 - r][min(c, cols - 1)] = marker
+    return ["".join(row) for row in grid]

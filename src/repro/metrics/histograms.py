@@ -1,0 +1,63 @@
+"""Wait-time histograms and CDFs (Figures 3, 5, 6).
+
+Figures 5 and 6 bin native wait times by ``log10(seconds)`` into the
+bins [0,1), [1,2), ..., [5,6).  Zero and sub-second waits land in the
+first bin (the paper's "(0,1)" bin holds the never-waited mass).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: The paper's log10(wait seconds) bin edges.
+LOG10_WAIT_BINS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+
+
+def log10_wait_histogram(
+    waits_s: Iterable[float],
+    bins: Sequence[float] = LOG10_WAIT_BINS,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Histogram of wait times over log10-second bins.
+
+    Waits below one second (including zero) are clamped into the first
+    bin; waits beyond the last edge are clamped into the last bin so no
+    probability mass is silently dropped.
+    """
+    waits = np.asarray(list(waits_s), dtype=float)
+    if np.any(waits < 0):
+        raise ValidationError("negative wait time")
+    edges = np.asarray(bins, dtype=float)
+    if edges.size < 2:
+        raise ValidationError("need at least two bin edges")
+    if waits.size == 0:
+        return np.zeros(edges.size - 1)
+    logs = np.log10(np.maximum(waits, 1.0))
+    logs = np.clip(logs, edges[0], np.nextafter(edges[-1], -np.inf))
+    counts, _ = np.histogram(logs, bins=edges)
+    if normalize:
+        return counts / counts.sum()
+    return counts.astype(float)
+
+
+def cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, P[X <= value]).
+
+    Used for the Figure-3 makespan CDF plots/series.
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        raise ValidationError("cannot build a CDF of nothing")
+    probs = np.arange(1, data.size + 1) / data.size
+    return data, probs
+
+
+def survival(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical survival function P[X > value] (Figure 3 plots
+    ``CDF > Makespan`` on its y-axis, i.e. the survival form)."""
+    data, probs = cdf(values)
+    return data, 1.0 - probs

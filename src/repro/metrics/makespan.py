@@ -1,0 +1,52 @@
+"""Makespan summary statistics (Tables 2, 4; Figure 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.units import HOUR
+
+
+@dataclass(frozen=True)
+class MakespanStats:
+    """Mean +/- standard deviation of a set of project makespans."""
+
+    n_samples: int
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_h(self) -> float:
+        """Mean makespan in hours (the paper's table unit)."""
+        return self.mean_s / HOUR
+
+    @property
+    def std_h(self) -> float:
+        """Standard deviation in hours."""
+        return self.std_s / HOUR
+
+    def cell(self) -> str:
+        """Render as a paper-style table cell: ``mean +- std`` hours."""
+        return f"{self.mean_h:.1f} ± {self.std_h:.1f}"
+
+
+def makespan_stats(makespans_s: Iterable[float]) -> MakespanStats:
+    """Summarize a sample of makespans given in seconds."""
+    data = np.asarray(list(makespans_s), dtype=float)
+    if data.size == 0:
+        raise ValidationError("no makespan samples")
+    if np.any(data < 0):
+        raise ValidationError("negative makespan")
+    return MakespanStats(
+        n_samples=int(data.size),
+        mean_s=float(data.mean()),
+        std_s=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        min_s=float(data.min()),
+        max_s=float(data.max()),
+    )

@@ -1,0 +1,102 @@
+"""Slowdown metrics and per-user fairness summaries.
+
+The paper reports expansion factors (EF = 1 + wait/runtime); the
+scheduling literature more commonly uses *bounded slowdown*, which
+avoids letting seconds-long jobs dominate:
+
+    bsld = max(1, (wait + runtime) / max(runtime, tau))
+
+with ``tau`` conventionally 10 s (Feitelson's bound).  We provide both,
+plus per-user aggregation so facilities can check that interstitial
+computing doesn't concentrate its costs on a few native users — the
+fair-share cascades of §4.3.2.1 make that a real risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.jobs import Job
+
+#: Conventional bounded-slowdown runtime floor (seconds).
+DEFAULT_TAU_S = 10.0
+
+
+def bounded_slowdowns(
+    jobs: Iterable[Job], tau_s: float = DEFAULT_TAU_S
+) -> np.ndarray:
+    """Bounded slowdown per started job."""
+    if tau_s <= 0:
+        raise ValidationError(f"tau_s must be positive: {tau_s}")
+    values: List[float] = []
+    for job in jobs:
+        if job.start_time is None:
+            continue
+        wait = job.start_time - job.submit_time
+        values.append(
+            max(1.0, (wait + job.runtime) / max(job.runtime, tau_s))
+        )
+    return np.asarray(values, dtype=float)
+
+
+@dataclass(frozen=True)
+class UserImpact:
+    """Wait statistics of one user's native jobs."""
+
+    user: str
+    n_jobs: int
+    mean_wait_s: float
+    median_wait_s: float
+    mean_bounded_slowdown: float
+
+
+def per_user_impact(
+    jobs: Sequence[Job], tau_s: float = DEFAULT_TAU_S
+) -> Dict[str, UserImpact]:
+    """Group started jobs by user and summarize each user's experience."""
+    by_user: Dict[str, List[Job]] = {}
+    for job in jobs:
+        if job.start_time is None:
+            continue
+        by_user.setdefault(job.user, []).append(job)
+    out: Dict[str, UserImpact] = {}
+    for user, user_jobs in by_user.items():
+        waits = np.array([j.start_time - j.submit_time for j in user_jobs])
+        bsld = bounded_slowdowns(user_jobs, tau_s)
+        out[user] = UserImpact(
+            user=user,
+            n_jobs=len(user_jobs),
+            mean_wait_s=float(waits.mean()),
+            median_wait_s=float(np.median(waits)),
+            mean_bounded_slowdown=float(bsld.mean()),
+        )
+    return out
+
+
+def impact_concentration(
+    baseline: Sequence[Job],
+    loaded: Sequence[Job],
+    tau_s: float = DEFAULT_TAU_S,
+) -> float:
+    """How concentrated the added wait is across users, in [0, 1].
+
+    Computes each user's share of the *additional* mean wait between a
+    baseline run and an interstitial-loaded run and returns the largest
+    share (1.0 = one user absorbs all the damage, 1/n_users = perfectly
+    spread).  Users present in only one run are ignored.
+    """
+    base = per_user_impact(baseline, tau_s)
+    load = per_user_impact(loaded, tau_s)
+    deltas: Dict[str, float] = {}
+    for user in base.keys() & load.keys():
+        deltas[user] = max(
+            0.0, load[user].mean_wait_s - base[user].mean_wait_s
+        )
+    total = sum(deltas.values())
+    if not deltas or total <= 0.0:
+        return 0.0
+    return max(deltas.values()) / total

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the paper's table rows through this formatter, so
+``pytest benchmarks/ --benchmark-only`` output can be compared against
+the paper side by side (and is what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table.
+
+    Cells are stringified; floats default to ``str`` so callers format
+    numbers themselves (keeping table-specific precision where the data
+    is produced).
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Utilization time series and summaries (Figure 4; Tables 6-8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.jobs import JobKind
+from repro.sim.results import SimResult
+from repro.units import HOUR
+
+
+def hourly_utilization(
+    result: SimResult,
+    kind: Optional[JobKind] = None,
+    bin_s: float = HOUR,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binned average utilization series (Figure 4's hourly curve).
+
+    Returns (bin start times, utilization per bin).  ``kind`` filters to
+    native or interstitial work; None sums both.
+    """
+    if bin_s <= 0:
+        raise ValidationError(f"bin_s must be positive: {bin_s}")
+    end = t1 if t1 is not None else result.metrics_end
+    if end <= t0:
+        raise ValidationError(f"empty window [{t0}, {end}]")
+    profile = result.busy_profile(kind)
+    n_bins = max(1, int(np.ceil((end - t0) / bin_s)))
+    starts = t0 + bin_s * np.arange(n_bins)
+    utils = np.empty(n_bins)
+    denom = result.machine.cpus
+    for i, s in enumerate(starts):
+        e = min(s + bin_s, end)
+        utils[i] = profile.integrate(s, e) / (denom * (e - s))
+    return starts, utils
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Overall / native / interstitial average utilizations."""
+
+    overall: float
+    native: float
+    interstitial: float
+
+    def describe(self) -> str:
+        return (
+            f"utilization overall {self.overall:.3f} "
+            f"(native {self.native:.3f}, "
+            f"interstitial {self.interstitial:.3f})"
+        )
+
+
+def utilization_summary(
+    result: SimResult, t0: float = 0.0, t1: Optional[float] = None
+) -> UtilizationSummary:
+    """Average utilizations over the metrics window, split by kind
+    (the "Overall Util" / "Native Util" rows of Tables 6-8)."""
+    return UtilizationSummary(
+        overall=result.utilization(None, t0, t1),
+        native=result.utilization(JobKind.NATIVE, t0, t1),
+        interstitial=result.utilization(JobKind.INTERSTITIAL, t0, t1),
+    )

@@ -1,0 +1,80 @@
+"""Wait-time and expansion-factor statistics.
+
+The paper's native-impact tables (5, 6, 7, 8) report median and mean
+wait times and expansion factors, both over all native jobs and over
+the "5% largest jobs ... in terms of CPU-sec" (Figure 6's caption makes
+the size metric explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.jobs import Job
+
+
+def wait_times(jobs: Iterable[Job]) -> np.ndarray:
+    """Wait times (start - submit) of started jobs, in seconds."""
+    return np.array(
+        [j.wait_time for j in jobs if j.start_time is not None], dtype=float
+    )
+
+
+def expansion_factors(jobs: Iterable[Job]) -> np.ndarray:
+    """The paper's EF = 1 + wait / runtime per started job."""
+    return np.array(
+        [j.expansion_factor for j in jobs if j.start_time is not None],
+        dtype=float,
+    )
+
+
+def largest_fraction(jobs: Sequence[Job], fraction: float = 0.05) -> List[Job]:
+    """The ``fraction`` largest jobs by CPU-seconds (at least one job).
+
+    Ties are broken deterministically by job id.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValidationError(f"fraction must be in (0, 1]: {fraction}")
+    if not jobs:
+        return []
+    ranked = sorted(jobs, key=lambda j: (-j.area, j.job_id))
+    count = max(1, int(round(len(ranked) * fraction)))
+    return ranked[:count]
+
+
+@dataclass(frozen=True)
+class WaitStats:
+    """Wait/EF summary over one job population."""
+
+    n_jobs: int
+    mean_wait_s: float
+    median_wait_s: float
+    mean_ef: float
+    median_ef: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_jobs} jobs: wait mean {self.mean_wait_s:.0f}s / "
+            f"median {self.median_wait_s:.0f}s, EF mean {self.mean_ef:.2f} "
+            f"/ median {self.median_ef:.2f}"
+        )
+
+
+def wait_stats(jobs: Sequence[Job]) -> WaitStats:
+    """Compute :class:`WaitStats` over started jobs."""
+    waits = wait_times(jobs)
+    if waits.size == 0:
+        raise ValidationError("no started jobs to summarize")
+    efs = expansion_factors(jobs)
+    finite_efs = efs[np.isfinite(efs)]
+    return WaitStats(
+        n_jobs=int(waits.size),
+        mean_wait_s=float(waits.mean()),
+        median_wait_s=float(np.median(waits)),
+        mean_ef=float(finite_efs.mean()) if finite_efs.size else float("inf"),
+        median_ef=float(np.median(efs)),
+    )

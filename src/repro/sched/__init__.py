@@ -1,0 +1,49 @@
+"""Native queueing-policy substrate.
+
+The paper's three machines run three different production schedulers
+(Table 1): PBS on Ross (equal shares, restrictive backfill), LSF on Blue
+Mountain (hierarchical group-level fair share, aggressive backfill) and
+DPCS on Blue Pacific (user *and* group fair share plus time-of-day
+constraints).  This package implements the shared machinery — priority
+policies, decayed-usage fair-share trackers, EASY and conservative
+backfill — and composes it into per-machine scheduler presets.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.fairshare import FairShareTracker
+from repro.sched.predictor import PerUserRuntimePredictor
+from repro.sched.priority import (
+    FcfsPolicy,
+    HierarchicalFairSharePolicy,
+    PriorityPolicy,
+    UserFairSharePolicy,
+    UserGroupFairSharePolicy,
+)
+from repro.sched.presets import (
+    dpcs_scheduler,
+    fcfs_scheduler,
+    lsf_scheduler,
+    pbs_scheduler,
+    scheduler_for,
+)
+from repro.sched.queue_scheduler import BackfillMode, QueueScheduler
+from repro.sched.timeofday import TimeOfDayPolicy
+
+__all__ = [
+    "Scheduler",
+    "QueueScheduler",
+    "BackfillMode",
+    "PriorityPolicy",
+    "FcfsPolicy",
+    "UserFairSharePolicy",
+    "HierarchicalFairSharePolicy",
+    "UserGroupFairSharePolicy",
+    "FairShareTracker",
+    "TimeOfDayPolicy",
+    "PerUserRuntimePredictor",
+    "pbs_scheduler",
+    "lsf_scheduler",
+    "dpcs_scheduler",
+    "fcfs_scheduler",
+    "scheduler_for",
+]

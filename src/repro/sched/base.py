@@ -1,0 +1,63 @@
+"""Abstract scheduler interface consumed by the engine.
+
+A scheduler owns the native queue.  The engine calls :meth:`submit` and
+:meth:`on_finish` as events arrive and :meth:`schedule` once per
+scheduling pass; the scheduler returns the jobs that should start *now*
+(the engine performs the actual allocation so it can schedule the
+completion events).
+
+The one extra hook beyond a textbook scheduler is
+:meth:`head_start_estimate`: the paper's ``backfillWallTime`` — when the
+highest-priority queued job is expected to be able to run, "based on the
+expected finishing time of jobs currently running".  The interstitial
+controller (Figure 1) compares it against the interstitial job runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.jobs import Job
+from repro.sim.state import ClusterState
+
+
+class Scheduler(abc.ABC):
+    """Interface between the engine and a native queueing policy."""
+
+    @abc.abstractmethod
+    def submit(self, job: Job, t: float) -> None:
+        """Enqueue a newly arrived native job."""
+
+    @abc.abstractmethod
+    def on_finish(self, job: Job, t: float) -> None:
+        """Observe a job completion (fair-share charging, predictors)."""
+
+    @abc.abstractmethod
+    def schedule(self, t: float, cluster: ClusterState) -> List[Job]:
+        """Return queued jobs to start at time ``t``.
+
+        Must be consistent: the returned set must fit in
+        ``cluster.free_cpus`` simultaneously.  The engine allocates them
+        in order.
+        """
+
+    @abc.abstractmethod
+    def head_start_estimate(self, t: float, cluster: ClusterState) -> float:
+        """Expected earliest start time of the top-priority queued job,
+        from running jobs' estimated completions (``math.inf`` when the
+        queue is empty)."""
+
+    @abc.abstractmethod
+    def pending_jobs(self) -> List[Job]:
+        """Jobs still waiting in the queue (for truncated-run reporting)."""
+
+    @property
+    @abc.abstractmethod
+    def queue_length(self) -> int:
+        """Number of queued (not yet started) jobs."""
+
+    def head_job(self, t: float) -> "Job | None":
+        """The top-priority queued job, or None (used by preemption to
+        size the hole to carve; optional for custom schedulers)."""
+        return None

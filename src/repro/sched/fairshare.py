@@ -1,0 +1,137 @@
+"""Decayed-usage fair-share accounting.
+
+All three production schedulers the paper emulates implement some notion
+of *fair share* ([14] in the paper): entities (users or groups) have
+target shares of the machine, recent usage is accumulated with an
+exponential decay, and queued jobs of under-served entities are boosted.
+The *dynamic re-prioritization* this produces is exactly the mechanism
+behind the paper's delay cascades (§4.3.2.1): a native job held up by an
+interstitial job can be overtaken by a later-arriving job whose owner's
+decayed usage is lower.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class FairShareTracker:
+    """Tracks exponentially-decayed usage per entity.
+
+    Parameters
+    ----------
+    half_life_s:
+        Usage half-life in seconds (production systems use days to
+        weeks; we default to one week).
+    shares:
+        Optional explicit target shares per entity.  Entities absent
+        from the mapping get a share of 1.  Shares are normalized over
+        the entities *known to the tracker* (charged at least once or
+        listed in ``shares``), so "all users have equal shares" is the
+        default behaviour, matching the paper's description of Ross.
+    """
+
+    DEFAULT_HALF_LIFE = 7 * 86400.0
+
+    def __init__(
+        self,
+        half_life_s: float = DEFAULT_HALF_LIFE,
+        shares: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if not math.isfinite(half_life_s) or half_life_s <= 0:
+            raise ConfigurationError(
+                f"half_life_s must be positive and finite, got {half_life_s}"
+            )
+        self.half_life_s = float(half_life_s)
+        self._decay_rate = math.log(2.0) / self.half_life_s
+        self._shares: Dict[str, float] = dict(shares or {})
+        for entity, share in self._shares.items():
+            if share <= 0:
+                raise ConfigurationError(
+                    f"share for {entity!r} must be positive, got {share}"
+                )
+        #: entity -> (usage at last update, last update time)
+        self._usage: Dict[str, Tuple[float, float]] = {
+            e: (0.0, 0.0) for e in self._shares
+        }
+        # Performance caches: schedulers evaluate factors for every
+        # queued job at the same instant, so total usage per timestamp
+        # and the normalized share table are memoized (profiling showed
+        # them dominating continual-run time otherwise).
+        self._total_cache: Tuple[float, float] = (math.nan, 0.0)
+        self._share_cache: Optional[Dict[str, float]] = None
+        self._share_total: float = 0.0
+
+    # ------------------------------------------------------------------
+    def entities(self) -> Iterable[str]:
+        """Entities known to the tracker."""
+        return self._usage.keys()
+
+    def _decayed(self, value: float, since: float, t: float) -> float:
+        if t <= since:
+            return value
+        return value * math.exp(-self._decay_rate * (t - since))
+
+    def charge(self, entity: str, amount: float, t: float) -> None:
+        """Add ``amount`` (CPU-seconds) of usage for ``entity`` at ``t``."""
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount}")
+        if entity not in self._usage:
+            self._share_cache = None  # population changed
+        value, since = self._usage.get(entity, (0.0, t))
+        self._usage[entity] = (self._decayed(value, since, t) + amount, t)
+        self._total_cache = (math.nan, 0.0)
+
+    def usage(self, entity: str, t: float) -> float:
+        """Decayed usage of ``entity`` at time ``t``."""
+        value, since = self._usage.get(entity, (0.0, t))
+        return self._decayed(value, since, t)
+
+    def total_usage(self, t: float) -> float:
+        """Sum of decayed usage over all entities at ``t`` (memoized per
+        timestamp; charges invalidate the memo)."""
+        if self._total_cache[0] == t:
+            return self._total_cache[1]
+        total = sum(self.usage(e, t) for e in self._usage)
+        self._total_cache = (t, total)
+        return total
+
+    def usage_share(self, entity: str, t: float) -> float:
+        """Fraction of total decayed usage attributed to ``entity``
+        (0 when nobody has any usage)."""
+        total = self.total_usage(t)
+        if total <= 0.0:
+            return 0.0
+        return self.usage(entity, t) / total
+
+    def target_share(self, entity: str) -> float:
+        """Normalized target share of ``entity`` among known entities.
+
+        Unknown entities are treated as share-1 newcomers against the
+        current population (a tracker that knows nobody returns 1.0).
+        The normalized table is cached until the population changes.
+        """
+        if self._share_cache is None:
+            known = dict(self._shares)
+            for e in self._usage:
+                known.setdefault(e, 1.0)
+            self._share_cache = known
+            self._share_total = sum(known.values())
+        known = self._share_cache
+        if entity in known:
+            return known[entity] / self._share_total
+        # Newcomer: one extra unit share against the population, without
+        # polluting the cache (queries must not mutate state).
+        return 1.0 / (self._share_total + 1.0)
+
+    def factor(self, entity: str, t: float) -> float:
+        """Fair-share priority factor in [-1, 1].
+
+        Positive when the entity is under-served (target share exceeds
+        its recent usage share), negative when over-served.  This is the
+        quantity priority policies weight into job scores.
+        """
+        return self.target_share(entity) - self.usage_share(entity, t)

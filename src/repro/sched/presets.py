@@ -1,0 +1,103 @@
+"""Per-machine scheduler presets (Table 1's "Queue algorithm" row).
+
+Each preset composes :class:`~repro.sched.queue_scheduler.QueueScheduler`
+with the fair-share flavour, backfill aggressiveness and extra
+constraints the paper attributes to that machine:
+
+* **Ross / PBS** — "the simplest (all users have equal shares)" flat
+  user fair share; "the criteria by which backfilling takes place is
+  more restrictive" → conservative backfill.
+* **Blue Mountain / LSF** — "hierarchical group-level fair share" with
+  EASY backfill.
+* **Blue Pacific / DPCS** — "user and group-level fair share in addition
+  to time of day constraints" with EASY backfill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machines import Machine
+from repro.sched.fairshare import FairShareTracker
+from repro.sched.predictor import PerUserRuntimePredictor
+from repro.sched.priority import (
+    FcfsPolicy,
+    HierarchicalFairSharePolicy,
+    UserFairSharePolicy,
+    UserGroupFairSharePolicy,
+)
+from repro.sched.queue_scheduler import BackfillMode, QueueScheduler
+from repro.sched.timeofday import TimeOfDayPolicy
+
+
+def pbs_scheduler(
+    half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+    predictor: Optional[PerUserRuntimePredictor] = None,
+) -> QueueScheduler:
+    """Ross-style PBS: equal-share user fair share, conservative
+    backfill."""
+    return QueueScheduler(
+        policy=UserFairSharePolicy(half_life_s=half_life_s),
+        backfill=BackfillMode.CONSERVATIVE,
+        predictor=predictor,
+    )
+
+
+def lsf_scheduler(
+    group_shares: Optional[Dict[str, float]] = None,
+    half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+    predictor: Optional[PerUserRuntimePredictor] = None,
+) -> QueueScheduler:
+    """Blue Mountain-style LSF: hierarchical group fair share, EASY
+    backfill."""
+    return QueueScheduler(
+        policy=HierarchicalFairSharePolicy(
+            group_shares=group_shares, half_life_s=half_life_s
+        ),
+        backfill=BackfillMode.EASY,
+        predictor=predictor,
+    )
+
+
+def dpcs_scheduler(
+    machine: Machine,
+    half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+    day_fraction: float = 0.25,
+    predictor: Optional[PerUserRuntimePredictor] = None,
+) -> QueueScheduler:
+    """Blue Pacific-style DPCS: user+group fair share, EASY backfill,
+    and a time-of-day constraint holding jobs wider than
+    ``day_fraction`` of the machine until night/weekend."""
+    return QueueScheduler(
+        policy=UserGroupFairSharePolicy(half_life_s=half_life_s),
+        backfill=BackfillMode.EASY,
+        timeofday=TimeOfDayPolicy(
+            max_day_cpus=max(1, int(machine.cpus * day_fraction))
+        ),
+        predictor=predictor,
+    )
+
+
+def fcfs_scheduler(
+    backfill: BackfillMode = BackfillMode.EASY,
+) -> QueueScheduler:
+    """Plain FCFS + backfill baseline (no fair share); useful for tests
+    and as the simplest comparison policy."""
+    return QueueScheduler(policy=FcfsPolicy(), backfill=backfill)
+
+
+def scheduler_for(
+    machine: Machine,
+    predictor: Optional[PerUserRuntimePredictor] = None,
+) -> QueueScheduler:
+    """Build the production scheduler matching a machine preset, keyed
+    on ``machine.queue_algorithm`` (PBS / LSF / DPCS); unknown systems
+    fall back to FCFS + EASY."""
+    algorithm = machine.queue_algorithm.upper()
+    if algorithm == "PBS":
+        return pbs_scheduler(predictor=predictor)
+    if algorithm == "LSF":
+        return lsf_scheduler(predictor=predictor)
+    if algorithm == "DPCS":
+        return dpcs_scheduler(machine, predictor=predictor)
+    return fcfs_scheduler()

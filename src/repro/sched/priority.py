@@ -1,0 +1,168 @@
+"""Queue priority policies.
+
+A :class:`PriorityPolicy` maps a queued job and the current time to a
+score; the scheduler sorts its queue by descending score each pass
+("dynamic re-prioritization").  Ties break by submission time then job
+id so the whole simulation stays deterministic.
+
+Policies provided:
+
+* :class:`FcfsPolicy` — first-come-first-served (no fair share);
+* :class:`UserFairSharePolicy` — flat per-user fair share with equal
+  shares, the paper's description of Ross/PBS ("the implementation at
+  Ross being the simplest: all users have equal shares");
+* :class:`HierarchicalFairSharePolicy` — group-level shares first, then
+  users within their group, the paper's Blue Mountain/LSF;
+* :class:`UserGroupFairSharePolicy` — user- and group-level factors
+  combined, the paper's Blue Pacific/DPCS (time-of-day constraints are
+  layered separately; see :mod:`repro.sched.timeofday`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.jobs import Job
+from repro.sched.fairshare import FairShareTracker
+
+#: Sort key type: higher compares first via sorting on the negated tuple.
+ScoreKey = Tuple[float, float, float]
+
+
+class PriorityPolicy(abc.ABC):
+    """Maps queued jobs to priority scores and observes completions."""
+
+    #: Weight of the queue-wait component (score units per day waited).
+    #: Keeps every policy starvation-free: a job's priority grows without
+    #: bound while it waits.
+    wait_weight: float = 1.0
+
+    @abc.abstractmethod
+    def fair_share_factor(self, job: Job, t: float) -> float:
+        """Fair-share component of the score, in [-1, 1]."""
+
+    def score(self, job: Job, t: float) -> float:
+        """Priority score; higher runs earlier."""
+        waited_days = max(0.0, t - job.submit_time) / 86400.0
+        return self.fair_share_factor(job, t) + self.wait_weight * waited_days
+
+    def sort_key(self, job: Job, t: float) -> ScoreKey:
+        """Deterministic descending sort key (use with ``sorted(...)``)."""
+        return (-self.score(job, t), job.submit_time, job.job_id)
+
+    def on_finish(self, job: Job, t: float) -> None:
+        """Observe a completion (default: nothing to charge)."""
+
+
+class FcfsPolicy(PriorityPolicy):
+    """Pure first-come-first-served: no fair-share component, so the
+    score reduces to the waiting time and the queue order is submission
+    order."""
+
+    def fair_share_factor(self, job: Job, t: float) -> float:
+        return 0.0
+
+
+class UserFairSharePolicy(PriorityPolicy):
+    """Flat fair share over users with equal target shares (Ross/PBS).
+
+    Parameters
+    ----------
+    half_life_s:
+        Usage decay half-life.
+    weight:
+        Weight of the fair-share factor in the score.
+    """
+
+    def __init__(
+        self,
+        half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+        weight: float = 2.0,
+    ) -> None:
+        if weight < 0:
+            raise ConfigurationError(f"weight must be >= 0, got {weight}")
+        self.users = FairShareTracker(half_life_s)
+        self.weight = weight
+
+    def fair_share_factor(self, job: Job, t: float) -> float:
+        return self.weight * self.users.factor(job.user, t)
+
+    def on_finish(self, job: Job, t: float) -> None:
+        self.users.charge(job.user, job.area, t)
+
+
+class HierarchicalFairSharePolicy(PriorityPolicy):
+    """Hierarchical group-level fair share (Blue Mountain/LSF).
+
+    The group factor dominates (groups own machine shares); a smaller
+    within-group user factor arbitrates between users of one group.
+
+    Parameters
+    ----------
+    group_shares:
+        Optional explicit target shares per group.
+    half_life_s:
+        Usage decay half-life for both levels.
+    group_weight, user_weight:
+        Score weights of the two levels.
+    """
+
+    def __init__(
+        self,
+        group_shares: Optional[Dict[str, float]] = None,
+        half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+        group_weight: float = 2.0,
+        user_weight: float = 0.5,
+    ) -> None:
+        self.groups = FairShareTracker(half_life_s, shares=group_shares)
+        self.half_life_s = half_life_s
+        self.group_weight = group_weight
+        self.user_weight = user_weight
+        #: Per-group tracker of that group's users.
+        self._per_group: Dict[str, FairShareTracker] = {}
+
+    def _group_users(self, group: str) -> FairShareTracker:
+        tracker = self._per_group.get(group)
+        if tracker is None:
+            tracker = FairShareTracker(self.half_life_s)
+            self._per_group[group] = tracker
+        return tracker
+
+    def fair_share_factor(self, job: Job, t: float) -> float:
+        g = self.group_weight * self.groups.factor(job.group, t)
+        u = self.user_weight * self._group_users(job.group).factor(job.user, t)
+        return g + u
+
+    def on_finish(self, job: Job, t: float) -> None:
+        self.groups.charge(job.group, job.area, t)
+        self._group_users(job.group).charge(job.user, job.area, t)
+
+
+class UserGroupFairSharePolicy(PriorityPolicy):
+    """User and group fair share combined at the same level (Blue
+    Pacific/DPCS): both the user's global usage and the group's global
+    usage feed the score."""
+
+    def __init__(
+        self,
+        group_shares: Optional[Dict[str, float]] = None,
+        user_shares: Optional[Dict[str, float]] = None,
+        half_life_s: float = FairShareTracker.DEFAULT_HALF_LIFE,
+        group_weight: float = 1.0,
+        user_weight: float = 1.0,
+    ) -> None:
+        self.groups = FairShareTracker(half_life_s, shares=group_shares)
+        self.users = FairShareTracker(half_life_s, shares=user_shares)
+        self.group_weight = group_weight
+        self.user_weight = user_weight
+
+    def fair_share_factor(self, job: Job, t: float) -> float:
+        return self.group_weight * self.groups.factor(
+            job.group, t
+        ) + self.user_weight * self.users.factor(job.user, t)
+
+    def on_finish(self, job: Job, t: float) -> None:
+        self.groups.charge(job.group, job.area, t)
+        self.users.charge(job.user, job.area, t)

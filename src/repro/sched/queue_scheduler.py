@@ -1,0 +1,158 @@
+"""The composite native scheduler.
+
+:class:`QueueScheduler` glues together a priority policy (who is most
+deserving), a backfill mode (how aggressively to fill holes), an
+optional time-of-day eligibility policy and an optional runtime
+predictor.  Every production scheduler preset in
+:mod:`repro.sched.presets` is an instance of this class.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Optional, Tuple
+
+from repro.jobs import Job
+from repro.sched.backfill import select_conservative, select_easy
+from repro.sched.base import Scheduler
+from repro.sched.predictor import PerUserRuntimePredictor
+from repro.sched.priority import PriorityPolicy
+from repro.sched.timeofday import TimeOfDayPolicy
+from repro.sim.state import ClusterState
+
+
+class BackfillMode(enum.Enum):
+    """How holes in the schedule may be filled."""
+
+    #: No backfill: strictly run the queue in priority order.
+    NONE = "none"
+    #: EASY backfill: protect only the head job's reservation.
+    EASY = "easy"
+    #: Conservative backfill: protect every queued job's reservation.
+    CONSERVATIVE = "conservative"
+
+
+class QueueScheduler(Scheduler):
+    """Priority queue + backfill native scheduler.
+
+    Parameters
+    ----------
+    policy:
+        Priority policy (fair share flavour); re-evaluated every pass,
+        which yields the dynamic re-prioritization the paper discusses.
+    backfill:
+        One of :class:`BackfillMode`.
+    timeofday:
+        Optional :class:`TimeOfDayPolicy`; ineligible jobs are held (not
+        considered for starting) for the current pass.
+    predictor:
+        Optional runtime predictor.  When given, all scheduler-internal
+        estimates (backfill windows, shadow times, ``backfillWallTime``)
+        use corrected estimates instead of the user's raw ones.
+    """
+
+    def __init__(
+        self,
+        policy: PriorityPolicy,
+        backfill: BackfillMode = BackfillMode.EASY,
+        timeofday: Optional[TimeOfDayPolicy] = None,
+        predictor: Optional[PerUserRuntimePredictor] = None,
+    ) -> None:
+        self.policy = policy
+        self.backfill = backfill
+        self.timeofday = timeofday
+        self.predictor = predictor
+        self._queue: List[Job] = []
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, t: float) -> None:
+        self._queue.append(job)
+
+    def on_finish(self, job: Job, t: float) -> None:
+        self.policy.on_finish(job, t)
+        if self.predictor is not None:
+            self.predictor.observe(job)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def pending_jobs(self) -> List[Job]:
+        return list(self._queue)
+
+    def schedule(self, t: float, cluster: ClusterState) -> List[Job]:
+        if not self._queue:
+            return []
+        ordered = sorted(self._queue, key=lambda j: self.policy.sort_key(j, t))
+        eligible = [j for j in ordered if self._eligible(j, t)]
+        releases = self._releases(cluster)
+        if self.backfill is BackfillMode.CONSERVATIVE:
+            starts = select_conservative(
+                t,
+                eligible,
+                cluster.available_cpus,
+                releases,
+                self._estimate,
+            )
+        else:
+            starts = select_easy(
+                t,
+                eligible,
+                cluster.free_cpus,
+                releases,
+                self._estimate,
+                backfill=self.backfill is BackfillMode.EASY,
+            )
+        started_ids = {job.job_id for job in starts}
+        self._queue = [j for j in self._queue if j.job_id not in started_ids]
+        return starts
+
+    def head_job(self, t: float):
+        if not self._queue:
+            return None
+        return min(self._queue, key=lambda j: self.policy.sort_key(j, t))
+
+    def head_start_estimate(self, t: float, cluster: ClusterState) -> float:
+        """The paper's ``backfillWallTime``: expected earliest start of
+        the top-priority queued job, given running jobs' (possibly
+        predictor-corrected) estimated completions and, when a
+        time-of-day policy holds the job, its next eligibility window."""
+        head = self.head_job(t)
+        if head is None:
+            return math.inf
+        start = self._earliest_capacity(head.cpus, t, cluster)
+        if self.timeofday is not None:
+            start = max(start, self.timeofday.next_eligible_time(head, t))
+        return start
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _eligible(self, job: Job, t: float) -> bool:
+        return self.timeofday is None or self.timeofday.eligible(job, t)
+
+    def _estimate(self, job: Job) -> float:
+        if self.predictor is not None:
+            return self.predictor.estimate(job)
+        return job.estimate
+
+    def _releases(self, cluster: ClusterState) -> List[Tuple[float, float]]:
+        return [
+            (rec.start_time + self._estimate(rec.job), float(rec.cpus))
+            for rec in cluster.running.values()
+        ]
+
+    def _earliest_capacity(
+        self, cpus: int, t: float, cluster: ClusterState
+    ) -> float:
+        if cluster.fits_now(cpus):
+            return t
+        free = float(cluster.free_cpus)
+        for finish, released in sorted(self._releases(cluster)):
+            free += released
+            if free >= cpus:
+                return max(t, finish)
+        return math.inf

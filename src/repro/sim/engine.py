@@ -1,0 +1,275 @@
+"""The discrete-event scheduling engine.
+
+The engine is deliberately policy-free: native job selection lives in a
+:class:`~repro.sched.base.Scheduler` and interstitial job injection in an
+:class:`~repro.core.base.InterstitialSource`.  Per the paper's Figure 1,
+the scheduling algorithm runs "every time the system checks for new
+jobs, e.g., when a native job is submitted, when any job is finished, or
+at given time intervals" — i.e. after every event batch and at optional
+periodic wake-ups.  Each pass first lets the native policy start and
+backfill everything it can, then offers the remaining capacity to the
+interstitial source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.jobs import Job, JobState
+from repro.machines import Machine
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.outages import OutageSchedule
+from repro.sim.results import SimResult
+from repro.sim.state import ClusterState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.base import InterstitialSource
+    from repro.sched.base import Scheduler
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine knobs.
+
+    Parameters
+    ----------
+    horizon:
+        Time after which the interstitial source is no longer consulted
+        and which bounds the metrics window.  Native jobs and already
+        started work always run to completion; the horizon only stops
+        *new* interstitial submissions (how the continual experiments
+        bound themselves to the trace length).
+    wake_interval:
+        Optional period for extra scheduling passes ("at given time
+        intervals" in Figure 1).  Useful when the interstitial source
+        should react to utilization thresholds between job events.
+    until:
+        Hard stop: events after this time are not processed and the
+        result reports unfinished jobs.  Mostly for debugging.
+    """
+
+    horizon: Optional[float] = None
+    wake_interval: Optional[float] = None
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wake_interval is not None and self.wake_interval <= 0:
+            raise ConfigurationError(
+                f"wake_interval must be positive, got {self.wake_interval}"
+            )
+
+
+class Engine:
+    """Replays a native trace through a scheduler on a machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine model (CPU count and clock).
+    scheduler:
+        Native queueing policy (see :mod:`repro.sched`).
+    trace:
+        Native jobs to replay.  Jobs are mutated in place (state, start
+        and finish times); pass copies if the trace is reused.
+    interstitial:
+        Optional interstitial job source (see :mod:`repro.core`).
+    outages:
+        Optional downtime schedule.
+    config:
+        Engine options.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: "Scheduler",
+        trace: Iterable[Job] = (),
+        interstitial: Optional["InterstitialSource"] = None,
+        outages: Optional[OutageSchedule] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.interstitial = interstitial
+        self.outages = outages or OutageSchedule()
+        self.config = config or SimConfig()
+        self.cluster = ClusterState(machine)
+        self.events = EventQueue()
+        self._finished: List[Job] = []
+        self._killed: List[Job] = []
+        self._trace: List[Job] = list(trace)
+        self._last_submit = 0.0
+        self._validate()
+
+    def _validate(self) -> None:
+        for job in self._trace:
+            if job.cpus > self.machine.cpus:
+                raise ConfigurationError(
+                    f"trace job {job.job_id} needs {job.cpus} CPUs but "
+                    f"{self.machine.name} has {self.machine.cpus}"
+                )
+        if self.outages.max_down() > self.machine.cpus:
+            raise ConfigurationError(
+                "outage schedule takes down more CPUs than the machine has"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Run to completion and return the collected results."""
+        for job in self._trace:
+            self.events.push(job.submit_time, EventKind.SUBMIT, job)
+            self._last_submit = max(self._last_submit, job.submit_time)
+        for time, delta in self.outages.transitions():
+            self.events.push(time, EventKind.OUTAGE, delta)
+        wake_until = self._wake_until()
+        if self.config.wake_interval is not None and wake_until > 0:
+            self.events.push(self.config.wake_interval, EventKind.WAKE, None)
+
+        t = 0.0
+        while self.events:
+            next_time = self.events.peek_time()
+            assert next_time is not None
+            if self.config.until is not None and next_time > self.config.until:
+                t = self.config.until
+                break
+            batch = self.events.pop_batch()
+            if batch[0].time < t:
+                raise SimulationError(
+                    f"time went backwards: {batch[0].time} < {t}"
+                )
+            t = batch[0].time
+            for event in batch:
+                self._handle(event, t, wake_until)
+            self._scheduling_pass(t)
+            if not self.events and self.scheduler.queue_length > 0:
+                # Stall recovery: jobs remain queued (e.g. held by a
+                # time-of-day policy) but no event will ever re-run the
+                # scheduler.  Wake periodically until they drain —
+                # progress is guaranteed because queued jobs fit the
+                # machine and every hold (time-of-day windows, outages)
+                # eventually opens.
+                self.events.push(
+                    t + self._stall_interval(), EventKind.WAKE, None
+                )
+        return self._collect(t)
+
+    def _stall_interval(self) -> float:
+        """Re-check period while the queue is stalled with no events."""
+        if self.config.wake_interval is not None:
+            return self.config.wake_interval
+        return 900.0
+
+    # ------------------------------------------------------------------
+    def _wake_until(self) -> float:
+        """Last time periodic wake events should fire."""
+        if self.config.horizon is not None:
+            return self.config.horizon
+        return self._last_submit
+
+    def _handle(self, event, t: float, wake_until: float) -> None:
+        if event.kind is EventKind.SUBMIT:
+            job: Job = event.payload
+            job.state = JobState.QUEUED
+            self.scheduler.submit(job, t)
+        elif event.kind is EventKind.FINISH:
+            job = event.payload
+            if job.state is JobState.KILLED:
+                return  # preempted earlier; its CPUs are already free
+            self.cluster.finish(job)
+            job.finish_time = t
+            job.state = JobState.FINISHED
+            self.scheduler.on_finish(job, t)
+            self._finished.append(job)
+        elif event.kind is EventKind.OUTAGE:
+            self.cluster.down_cpus += int(event.payload)
+            if self.cluster.down_cpus < 0:
+                raise SimulationError("negative down CPU count")
+        elif event.kind is EventKind.WAKE:
+            # Periodic wake-ups re-arm themselves within their window;
+            # stall-recovery wakes (pushed by the main loop) do not.
+            interval = self.config.wake_interval
+            if interval is not None and t + interval <= wake_until:
+                self.events.push(t + interval, EventKind.WAKE, None)
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _scheduling_pass(self, t: float) -> None:
+        """One pass: native policy to quiescence, then (optionally)
+        preemption of interstitial jobs for a blocked native head job,
+        then interstitial feeding."""
+        for job in self.scheduler.schedule(t, self.cluster):
+            self._start(job, t)
+        source = self.interstitial
+        if source is None:
+            return
+        if source.preemptible and self.scheduler.queue_length > 0:
+            if self._preempt_for_head(t):
+                for job in self.scheduler.schedule(t, self.cluster):
+                    self._start(job, t)
+        horizon = self.config.horizon
+        if horizon is not None and t >= horizon:
+            return
+        for job in source.offer(t, self.cluster, self.scheduler):
+            self._start(job, t)
+
+    def _preempt_for_head(self, t: float) -> bool:
+        """Kill just enough interstitial jobs (youngest first) so the
+        top-priority native job fits; returns True when anything was
+        killed.  Killed work is wasted — jobs are non-preemptive with no
+        checkpoint/restart — and the source is told to redo it."""
+        head = self.scheduler.head_job(t)
+        if head is None:
+            return False
+        deficit = head.cpus - self.cluster.free_cpus
+        if deficit <= 0:
+            return False
+        victims = sorted(
+            (
+                rec
+                for rec in self.cluster.running.values()
+                if rec.job.is_interstitial
+            ),
+            key=lambda rec: (-rec.start_time, -rec.job.job_id),
+        )
+        if sum(rec.job.cpus for rec in victims) < deficit:
+            # Even killing every interstitial job cannot seat the head
+            # job (natives hold the rest) — killing now would only waste
+            # work without helping, so wait for native releases instead.
+            return False
+        killed: List[Job] = []
+        freed = 0
+        for rec in victims:
+            if freed >= deficit:
+                break
+            self.cluster.finish(rec.job)
+            rec.job.state = JobState.KILLED
+            rec.job.finish_time = t
+            killed.append(rec.job)
+            freed += rec.job.cpus
+        self._killed.extend(killed)
+        assert self.interstitial is not None
+        self.interstitial.on_preempted(killed, t)
+        return True
+
+    def _start(self, job: Job, t: float) -> None:
+        self.cluster.start(job, t)
+        job.start_time = t
+        job.state = JobState.RUNNING
+        self.events.push(t + job.runtime, EventKind.FINISH, job)
+
+    def _collect(self, t: float) -> SimResult:
+        unfinished: List[Job] = [
+            rec.job for rec in self.cluster.running.values()
+        ]
+        unfinished.extend(self.scheduler.pending_jobs())
+        return SimResult(
+            machine=self.machine,
+            finished=self._finished,
+            unfinished=unfinished,
+            killed=self._killed,
+            end_time=t,
+            horizon=self.config.horizon,
+            outages=self.outages,
+        )

@@ -1,0 +1,154 @@
+"""Simulation result container.
+
+The engine collects raw per-job outcomes; :class:`SimResult` exposes
+them together with lazily-built busy-CPU step functions so the metrics
+layer (:mod:`repro.metrics`) can compute utilizations, wait statistics
+and makespans without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.jobs import Job, JobKind
+from repro.machines import Machine
+from repro.sim.outages import OutageSchedule
+from repro.sim.profile import StepFunction
+
+
+@dataclass(frozen=True)
+class UsageSample:
+    """One instant of cluster occupancy (diagnostic stream)."""
+
+    time: float
+    native_busy: int
+    interstitial_busy: int
+    down: int
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produced.
+
+    Attributes
+    ----------
+    machine:
+        The simulated machine.
+    finished:
+        Jobs that ran to completion (``start_time``/``finish_time`` set).
+    unfinished:
+        Jobs still running or queued when the run was truncated by
+        ``until`` (empty for full runs).
+    killed:
+        Interstitial jobs preempted for native work (preemptible-mode
+        ablation only); their partial occupancy counts as busy time but
+        their work was wasted.
+    end_time:
+        Time of the last processed event.
+    horizon:
+        Metrics window end: the configured horizon if one was set,
+        otherwise ``end_time``.  Utilization averages use ``[0, horizon]``.
+    outages:
+        The outage schedule that was in force.
+    """
+
+    machine: Machine
+    finished: List[Job] = field(default_factory=list)
+    unfinished: List[Job] = field(default_factory=list)
+    killed: List[Job] = field(default_factory=list)
+    end_time: float = 0.0
+    horizon: Optional[float] = None
+    outages: OutageSchedule = field(default_factory=OutageSchedule)
+
+    # ------------------------------------------------------------------
+    # Job views
+    # ------------------------------------------------------------------
+    def jobs(self, kind: Optional[JobKind] = None) -> List[Job]:
+        """Finished jobs, optionally filtered by kind."""
+        if kind is None:
+            return list(self.finished)
+        return [j for j in self.finished if j.kind is kind]
+
+    @property
+    def native_jobs(self) -> List[Job]:
+        """Finished native jobs."""
+        return self.jobs(JobKind.NATIVE)
+
+    @property
+    def interstitial_jobs(self) -> List[Job]:
+        """Finished interstitial jobs."""
+        return self.jobs(JobKind.INTERSTITIAL)
+
+    @property
+    def metrics_end(self) -> float:
+        """End of the metrics window (horizon or last event time)."""
+        return self.horizon if self.horizon is not None else self.end_time
+
+    # ------------------------------------------------------------------
+    # Occupancy profiles
+    # ------------------------------------------------------------------
+    def busy_profile(self, kind: Optional[JobKind] = None) -> StepFunction:
+        """Busy-CPU step function over time for finished jobs of ``kind``
+        (all kinds when None).  Jobs truncated by an early stop contribute
+        up to ``end_time``."""
+        times: List[float] = []
+        deltas: List[float] = []
+        for job in list(self.finished) + list(self.killed):
+            if kind is not None and job.kind is not kind:
+                continue
+            times.append(job.start_time)  # type: ignore[arg-type]
+            deltas.append(job.cpus)
+            times.append(job.finish_time)  # type: ignore[arg-type]
+            deltas.append(-job.cpus)
+        for job in self.unfinished:
+            if job.start_time is None:
+                continue
+            if kind is not None and job.kind is not kind:
+                continue
+            times.append(job.start_time)
+            deltas.append(job.cpus)
+            times.append(self.end_time)
+            deltas.append(-job.cpus)
+        return StepFunction.from_deltas(times, deltas, base=0.0)
+
+    def down_profile(self) -> StepFunction:
+        """Down-CPU step function from the outage schedule."""
+        transitions = self.outages.transitions()
+        return StepFunction.from_deltas(
+            [t for t, _ in transitions], [d for _, d in transitions], base=0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Headline numbers (thin wrappers; richer stats in repro.metrics)
+    # ------------------------------------------------------------------
+    def utilization(
+        self,
+        kind: Optional[JobKind] = None,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+    ) -> float:
+        """Average utilization (busy CPU-time / machine CPU-time) over
+        ``[t0, t1]``; the denominator includes outages, matching the
+        paper's "including outages" convention."""
+        end = t1 if t1 is not None else self.metrics_end
+        if end <= t0:
+            raise ValueError(f"empty utilization window [{t0}, {end}]")
+        busy = self.busy_profile(kind).integrate(t0, end)
+        return busy / (self.machine.cpus * (end - t0))
+
+    @property
+    def overall_utilization(self) -> float:
+        """Average utilization of all work over the metrics window."""
+        return self.utilization()
+
+    @property
+    def native_utilization(self) -> float:
+        """Average utilization of native work over the metrics window."""
+        return self.utilization(JobKind.NATIVE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimResult({self.machine.name}: {len(self.finished)} finished, "
+            f"{len(self.unfinished)} unfinished, end={self.end_time:.0f}s)"
+        )

@@ -1,0 +1,138 @@
+"""Live cluster state: which jobs are running on how many CPUs.
+
+The scheduler sees only what a real batch system sees: the set of
+running jobs with their *estimated* completion times, the free CPU
+count, and the queue it manages itself.  Actual runtimes live only in
+the engine's event queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CapacityError, SchedulingError
+from repro.jobs import Job
+from repro.machines import Machine
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A running job together with its scheduler-visible completion time."""
+
+    job: Job
+    start_time: float
+
+    @property
+    def estimated_finish(self) -> float:
+        """When the scheduler must assume the job will release its CPUs
+        (start + user estimate; the batch system kills at this point)."""
+        return self.start_time + self.job.estimate
+
+    @property
+    def cpus(self) -> int:
+        return self.job.cpus
+
+
+class ClusterState:
+    """Tracks CPU allocation on one machine during a simulation."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.running: Dict[int, RunningJob] = {}
+        self.busy_cpus: int = 0
+        #: CPUs removed from service by outages (see repro.sim.outages).
+        self.down_cpus: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cpus(self) -> int:
+        """Machine size (independent of outages)."""
+        return self.machine.cpus
+
+    @property
+    def available_cpus(self) -> int:
+        """CPUs in service right now (total minus down)."""
+        return self.total_cpus - self.down_cpus
+
+    @property
+    def free_cpus(self) -> int:
+        """CPUs a new job could occupy right now.
+
+        During an outage the in-service count can momentarily be lower
+        than the busy count (running jobs are not preempted), in which
+        case no CPUs are free.
+        """
+        return max(0, self.available_cpus - self.busy_cpus)
+
+    @property
+    def instantaneous_utilization(self) -> float:
+        """busy / total, the quantity the paper's utilization caps test."""
+        return self.busy_cpus / self.total_cpus
+
+    def fits_now(self, cpus: int) -> bool:
+        """Whether a ``cpus``-wide job can start at this instant."""
+        return cpus <= self.free_cpus
+
+    # ------------------------------------------------------------------
+    def start(self, job: Job, t: float) -> RunningJob:
+        """Allocate CPUs to ``job`` at time ``t``."""
+        if job.job_id in self.running:
+            raise SchedulingError(f"job {job.job_id} already running")
+        if job.cpus > self.machine.cpus:
+            raise CapacityError(
+                f"job {job.job_id} needs {job.cpus} CPUs but "
+                f"{self.machine.name} has only {self.machine.cpus}"
+            )
+        if job.cpus > self.free_cpus:
+            raise CapacityError(
+                f"job {job.job_id} needs {job.cpus} CPUs but only "
+                f"{self.free_cpus} are free"
+            )
+        record = RunningJob(job=job, start_time=t)
+        self.running[job.job_id] = record
+        self.busy_cpus += job.cpus
+        return record
+
+    def finish(self, job: Job) -> RunningJob:
+        """Release the CPUs of ``job``."""
+        try:
+            record = self.running.pop(job.job_id)
+        except KeyError:
+            raise SchedulingError(
+                f"job {job.job_id} finished but was not running"
+            ) from None
+        self.busy_cpus -= job.cpus
+        if self.busy_cpus < 0:
+            raise SchedulingError("negative busy CPU count")
+        return record
+
+    # ------------------------------------------------------------------
+    def estimated_releases(self) -> List[RunningJob]:
+        """Running jobs sorted by estimated completion time.
+
+        This is the only view of the future a fallible scheduler has;
+        backfill shadow times and the interstitial ``backfillWallTime``
+        are computed from it.
+        """
+        return sorted(
+            self.running.values(), key=lambda r: (r.estimated_finish, r.job.job_id)
+        )
+
+    def earliest_fit_estimate(self, cpus: int, t: float) -> float:
+        """Earliest time (>= t) at which ``cpus`` CPUs are expected to be
+        free, based on running jobs' *estimated* completions.
+
+        This is the paper's ``backfillWallTime`` for a ``cpus``-wide head
+        job.  Returns ``t`` when the job already fits.  When even after
+        all running jobs release there is not enough in-service capacity
+        (deep outage), returns ``math.inf``.
+        """
+        if self.fits_now(cpus):
+            return t
+        free = self.free_cpus
+        for record in self.estimated_releases():
+            free += record.cpus
+            if free >= cpus:
+                return max(t, record.estimated_finish)
+        return float("inf")

@@ -1,0 +1,38 @@
+"""Analytical models from the paper's §4.2 ("Theory").
+
+* :func:`ideal_makespan` — ``Makespan = P / (n C (1 - U))``: a project
+  of ``P`` cycles drains through the machine's average spare capacity.
+* :func:`breakage_factor` — the finite-job-size correction
+  ``(N(1-U)/n) / floor(N(1-U)/n)``: CPUs wasted because an integral
+  number of ``n``-wide jobs rarely tiles the free space exactly.
+* :func:`fit_affine` — recovers the paper's empirical calibration
+  ``Makespan(sec) = 5256 + 1.16 x P/(nC(1-U))`` from simulated points.
+"""
+
+from repro.theory.breakage import breakage_factor, expected_breakage_cpus
+from repro.theory.fitting import AffineFit, fit_affine
+from repro.theory.makespan import (
+    ideal_makespan,
+    ideal_makespan_for,
+    predicted_makespan,
+)
+from repro.theory.queueing import (
+    erlang_c,
+    mmc_mean_expansion_factor,
+    mmc_mean_wait,
+    wait_blowup_ratio,
+)
+
+__all__ = [
+    "ideal_makespan",
+    "ideal_makespan_for",
+    "predicted_makespan",
+    "breakage_factor",
+    "expected_breakage_cpus",
+    "fit_affine",
+    "AffineFit",
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_mean_expansion_factor",
+    "wait_blowup_ratio",
+]

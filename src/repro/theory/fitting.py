@@ -1,0 +1,69 @@
+"""Affine fits of measured vs. theoretical makespans (paper §4.2).
+
+The paper calibrates ``Makespan(sec) = 5256 + 1.16 x P/(NC(1-U))`` from
+its Table 2 points and reports it "good to about +-17%".  We provide the
+same least-squares fit plus fit diagnostics so the reproduction can
+report its own intercept/slope/spread side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class AffineFit:
+    """Least-squares fit ``y ~ intercept + slope * x``."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+    max_relative_error: float
+    n_points: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * x
+
+    def describe(self) -> str:
+        return (
+            f"y = {self.intercept:.0f} + {self.slope:.3f} x  "
+            f"(R^2 = {self.r_squared:.3f}, max rel. err "
+            f"{self.max_relative_error * 100:.0f}%, n = {self.n_points})"
+        )
+
+
+def fit_affine(x: Sequence[float], y: Sequence[float]) -> AffineFit:
+    """Fit ``y = a + b x`` by ordinary least squares.
+
+    ``max_relative_error`` is the worst |fit - y| / y over the sample —
+    the quantity behind the paper's "+-17%" claim.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValidationError("x and y must be equal-length 1-D sequences")
+    if xs.size < 2:
+        raise ValidationError("need at least two points to fit a line")
+    design = np.column_stack([np.ones_like(xs), xs])
+    coef, _, _, _ = np.linalg.lstsq(design, ys, rcond=None)
+    intercept, slope = float(coef[0]), float(coef[1])
+    predicted = intercept + slope * xs
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(predicted - ys) / np.where(ys != 0, ys, np.nan)
+    max_rel = float(np.nanmax(rel)) if np.any(ys != 0) else 0.0
+    return AffineFit(
+        intercept=intercept,
+        slope=slope,
+        r_squared=r_squared,
+        max_relative_error=max_rel,
+        n_points=int(xs.size),
+    )

@@ -1,0 +1,88 @@
+"""The constant-utilization makespan model (paper §4.2).
+
+With a machine of ``N`` CPUs at clock ``C`` (cycles/s) running at
+average native utilization ``U``, the spare capacity is ``N C (1 - U)``
+cycles per second, so a project of ``P`` cycles needs::
+
+    Makespan = P / (N C (1 - U))   seconds.
+
+Fitting simulation results, the paper reports the affine correction
+``Makespan(sec) = 5256 + 1.16 x P/(NC(1-U))`` (good to about +-17%),
+the slope above one reflecting utilization dispersion and breakage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.theory.breakage import breakage_factor
+from repro.units import GHZ
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jobs import InterstitialProject
+    from repro.machines import Machine
+
+#: The paper's fitted intercept (seconds) and slope.
+PAPER_FIT_INTERCEPT_S = 5256.0
+PAPER_FIT_SLOPE = 1.16
+
+
+def ideal_makespan(
+    project_cycles: float,
+    n_cpus: int,
+    clock_ghz: float,
+    utilization: float,
+) -> float:
+    """Theoretical minimum makespan in seconds.
+
+    Parameters
+    ----------
+    project_cycles:
+        Project size ``P`` in cycles (not peta-cycles).
+    n_cpus, clock_ghz:
+        Machine size and clock.
+    utilization:
+        Average *native* utilization ``U`` in [0, 1).
+    """
+    if project_cycles < 0:
+        raise ValidationError(f"project_cycles must be >= 0: {project_cycles}")
+    if n_cpus <= 0 or clock_ghz <= 0:
+        raise ValidationError("machine must have positive size and clock")
+    if not (0.0 <= utilization < 1.0):
+        raise ValidationError(
+            f"utilization must be in [0, 1): {utilization}"
+        )
+    spare_cycles_per_s = n_cpus * clock_ghz * GHZ * (1.0 - utilization)
+    return project_cycles / spare_cycles_per_s
+
+
+def ideal_makespan_for(
+    project: "InterstitialProject",
+    machine: "Machine",
+    utilization: float,
+) -> float:
+    """Ideal makespan of a project on a machine at utilization ``U``."""
+    return ideal_makespan(
+        project.cycles, machine.cpus, machine.clock_ghz, utilization
+    )
+
+
+def predicted_makespan(
+    project: "InterstitialProject",
+    machine: "Machine",
+    utilization: float,
+    intercept_s: float = PAPER_FIT_INTERCEPT_S,
+    slope: float = PAPER_FIT_SLOPE,
+    with_breakage: bool = False,
+) -> float:
+    """Affine-calibrated makespan prediction, optionally multiplied by
+    the breakage correction for the project's job width."""
+    base = intercept_s + slope * ideal_makespan_for(
+        project, machine, utilization
+    )
+    if with_breakage:
+        base *= breakage_factor(
+            machine.cpus, utilization, project.cpus_per_job
+        )
+    return base

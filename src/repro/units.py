@@ -1,0 +1,69 @@
+"""Unit constants and conversion helpers.
+
+The simulator's universal conventions, used everywhere in the package:
+
+* **time** is measured in seconds of simulated wall-clock time, as a float,
+  starting from 0.0 at the beginning of a trace;
+* **clock speed** is measured in GHz;
+* **work** (compute demand) is measured in *cycles*:
+  ``cycles = cpus * runtime_seconds * clock_ghz * 1e9``.
+
+The paper expresses interstitial project sizes in *peta-cycles*
+(1 PC = 1e15 clock ticks) and interstitial job runtimes normalized to a
+1 GHz processor ("120 sec @ 1 GHz"), so a 120 s @ 1 GHz job runs for
+120 / 0.262 = 458 s on Blue Mountain's 262 MHz CPUs.
+"""
+
+from __future__ import annotations
+
+#: Seconds per minute.
+MINUTE = 60.0
+
+#: Seconds per hour.
+HOUR = 3600.0
+
+#: Seconds per day.
+DAY = 86400.0
+
+#: Cycles per second of one 1 GHz CPU.
+GHZ = 1.0e9
+
+#: One tera-cycle (the paper's machine-capacity unit: CPUs x clock).
+TERA = 1.0e12
+
+#: One peta-cycle (the paper's project-size unit).
+PETA = 1.0e15
+
+
+def cycles(cpus: int, runtime_s: float, clock_ghz: float) -> float:
+    """Compute work in cycles for ``cpus`` CPUs busy for ``runtime_s``
+    seconds at ``clock_ghz`` GHz."""
+    return float(cpus) * float(runtime_s) * float(clock_ghz) * GHZ
+
+
+def peta_cycles(cpus: int, runtime_s: float, clock_ghz: float) -> float:
+    """Same as :func:`cycles` but expressed in peta-cycles."""
+    return cycles(cpus, runtime_s, clock_ghz) / PETA
+
+
+def normalize_runtime(runtime_at_1ghz_s: float, clock_ghz: float) -> float:
+    """Scale a runtime specified at 1 GHz to a machine's actual clock.
+
+    The paper normalizes interstitial job runtimes to processor speed so
+    that machine-to-machine makespan comparisons are fair: a
+    ``120 sec @ 1 GHz`` job takes ``120 / 0.262 = 458 s`` on Blue
+    Mountain (0.262 GHz).
+    """
+    if clock_ghz <= 0.0:
+        raise ValueError(f"clock_ghz must be positive, got {clock_ghz}")
+    return float(runtime_at_1ghz_s) / float(clock_ghz)
+
+
+def hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / HOUR
+
+
+def days(seconds: float) -> float:
+    """Convert seconds to days."""
+    return seconds / DAY

@@ -1,0 +1,70 @@
+"""Workload models and trace I/O.
+
+The paper drives its simulations with proprietary ASCI job logs; this
+package substitutes (a) calibrated synthetic generators that match every
+aggregate statistic the paper reports about those logs — utilization,
+job count, trace length, fat-tailed width mix, heavy-tailed runtimes,
+bursty arrivals and default-heavy runtime estimates — and (b) a Standard
+Workload Format (SWF) reader so public traces from the Parallel
+Workloads Archive can be dropped in instead.
+"""
+
+from repro.workload.arrivals import (
+    BurstyProcess,
+    PoissonProcess,
+    WeeklyCycle,
+    generate_arrivals,
+)
+from repro.workload.distributions import (
+    DefaultHeavyEstimates,
+    LogNormalRuntimes,
+    PowerOfTwoWidths,
+)
+from repro.workload.stats import TraceStats, compute_stats
+from repro.workload.swf import read_swf, write_swf
+from repro.workload.synthetic import (
+    MachineMixProfile,
+    generate_trace,
+    mix_profile,
+    synthetic_trace_for,
+)
+from repro.workload.archive import (
+    CATALOG,
+    ArchiveEntry,
+    archive_entry,
+    catalog_keys,
+    load_archive_trace,
+)
+from repro.workload.trace import Trace
+from repro.workload.validate import (
+    TraceIssue,
+    ValidationReport,
+    validate_trace,
+)
+
+__all__ = [
+    "Trace",
+    "PoissonProcess",
+    "WeeklyCycle",
+    "BurstyProcess",
+    "generate_arrivals",
+    "PowerOfTwoWidths",
+    "LogNormalRuntimes",
+    "DefaultHeavyEstimates",
+    "MachineMixProfile",
+    "mix_profile",
+    "generate_trace",
+    "synthetic_trace_for",
+    "read_swf",
+    "write_swf",
+    "TraceStats",
+    "compute_stats",
+    "validate_trace",
+    "ValidationReport",
+    "TraceIssue",
+    "ArchiveEntry",
+    "CATALOG",
+    "archive_entry",
+    "catalog_keys",
+    "load_archive_trace",
+]

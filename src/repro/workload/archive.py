@@ -1,0 +1,147 @@
+"""Catalog of public Parallel Workloads Archive traces.
+
+The paper's ASCI logs are proprietary, but the Parallel Workloads
+Archive (Feitelson et al.) publishes comparable production logs in the
+SWF format this package reads.  This catalog records the standard
+traces closest in spirit to the paper's machines — same era, same
+labs in two cases — so users can rerun every experiment on real logs:
+
+1. download the ``.swf`` (URLs below; the archive is at
+   https://www.cs.huji.ac.il/labs/parallel/workload/),
+2. ``trace = load_archive_trace("lanl_cm5", path)``,
+3. pass ``entry.machine()`` and ``trace.jobs`` to any runner.
+
+No network access is performed by this module; it only documents the
+traces and builds the matching :class:`~repro.machines.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.machines import Machine
+from repro.workload.swf import read_swf
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """Metadata for one public trace."""
+
+    key: str
+    name: str
+    site: str
+    cpus: int
+    clock_ghz: float
+    n_jobs: int
+    months: float
+    url: str
+    notes: str = ""
+
+    def machine(self, queue_algorithm: str = "LSF") -> Machine:
+        """A machine model sized for this trace."""
+        return Machine(
+            name=self.name,
+            cpus=self.cpus,
+            clock_ghz=self.clock_ghz,
+            site=self.site,
+            queue_algorithm=queue_algorithm,
+        )
+
+
+_BASE = "https://www.cs.huji.ac.il/labs/parallel/workload/"
+
+CATALOG: Dict[str, ArchiveEntry] = {
+    entry.key: entry
+    for entry in (
+        ArchiveEntry(
+            key="lanl_cm5",
+            name="LANL CM-5",
+            site="Los Alamos",
+            cpus=1024,
+            clock_ghz=0.033,
+            n_jobs=122_060,
+            months=24.0,
+            url=_BASE + "l_lanl_cm5/index.html",
+            notes=(
+                "Los Alamos production log — the same lab as the "
+                "paper's Blue Mountain."
+            ),
+        ),
+        ArchiveEntry(
+            key="llnl_t3d",
+            name="LLNL Cray T3D",
+            site="Livermore",
+            cpus=256,
+            clock_ghz=0.150,
+            n_jobs=21_323,
+            months=4.0,
+            url=_BASE + "l_llnl_t3d/index.html",
+            notes=(
+                "Livermore production log — the same lab as the "
+                "paper's Blue Pacific."
+            ),
+        ),
+        ArchiveEntry(
+            key="sdsc_sp2",
+            name="SDSC SP2",
+            site="San Diego",
+            cpus=128,
+            clock_ghz=0.066,
+            n_jobs=73_496,
+            months=24.0,
+            url=_BASE + "l_sdsc_sp2/index.html",
+            notes="Heavily-loaded SP2; a classic backfilling testbed.",
+        ),
+        ArchiveEntry(
+            key="ctc_sp2",
+            name="CTC SP2",
+            site="Cornell",
+            cpus=430,
+            clock_ghz=0.066,
+            n_jobs=79_302,
+            months=11.0,
+            url=_BASE + "l_ctc_sp2/index.html",
+            notes="The standard trace of the EASY-backfill literature.",
+        ),
+        ArchiveEntry(
+            key="kth_sp2",
+            name="KTH SP2",
+            site="Stockholm",
+            cpus=100,
+            clock_ghz=0.066,
+            n_jobs=28_490,
+            months=11.0,
+            url=_BASE + "l_kth_sp2/index.html",
+            notes="Small machine; good for quick real-trace runs.",
+        ),
+    )
+}
+
+
+def catalog_keys() -> Tuple[str, ...]:
+    """Known archive trace keys."""
+    return tuple(CATALOG)
+
+
+def archive_entry(key: str) -> ArchiveEntry:
+    """Look up a catalog entry."""
+    try:
+        return CATALOG[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown archive trace {key!r}; choose from {catalog_keys()}"
+        ) from None
+
+
+def load_archive_trace(key: str, path: Union[str, Path]) -> Trace:
+    """Read a downloaded archive SWF file as the named catalog trace.
+
+    The file must have been downloaded by the user (this library makes
+    no network requests); ``path`` points at the unpacked ``.swf``.
+    """
+    entry = archive_entry(key)
+    trace = read_swf(path, name=entry.name)
+    return trace

@@ -1,0 +1,185 @@
+"""Job arrival processes.
+
+The paper emphasizes that "bursty job arrivals also contribute to the
+uneven job load because of long-term correlations in the submission of
+jobs" (citing Squillante et al. [18]).  We compose three layers:
+
+* a homogeneous :class:`PoissonProcess` base;
+* a :class:`WeeklyCycle` rate modulation (day vs night, weekday vs
+  weekend) — supercomputer users submit during business hours;
+* a :class:`BurstyProcess` two-state Markov modulation (quiet/burst)
+  producing the long-range correlated clumps of submissions.
+
+:func:`generate_arrivals` draws arrival times from the product of the
+three intensities via Lewis–Shedler thinning, normalized so the expected
+arrival count matches the requested target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class PoissonProcess:
+    """Homogeneous Poisson arrivals at ``rate`` per second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate) or self.rate <= 0:
+            raise ConfigurationError(f"rate must be positive: {self.rate}")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> np.ndarray:
+        """Arrival times over ``[0, duration)``, ascending."""
+        n = rng.poisson(self.rate * duration)
+        return np.sort(rng.uniform(0.0, duration, size=n))
+
+
+@dataclass(frozen=True)
+class WeeklyCycle:
+    """Deterministic day/week rate multiplier.
+
+    Time 0 is Monday 00:00.  The multiplier is ``day_factor`` during
+    business hours on weekdays, ``night_factor`` on weekday nights and
+    ``weekend_factor`` all weekend.  Factors are relative; thinning
+    normalizes the mean, so only ratios matter.
+    """
+
+    day_factor: float = 1.6
+    night_factor: float = 0.6
+    weekend_factor: float = 0.4
+    day_start_hour: float = 8.0
+    day_end_hour: float = 18.0
+
+    def __post_init__(self) -> None:
+        for name in ("day_factor", "night_factor", "weekend_factor"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if not (0 <= self.day_start_hour < self.day_end_hour <= 24):
+            raise ConfigurationError("invalid day window")
+
+    def multiplier(self, t: float) -> float:
+        """Rate multiplier at time ``t``."""
+        if int(t // DAY) % 7 >= 5:
+            return self.weekend_factor
+        hour = (t % DAY) / HOUR
+        if self.day_start_hour <= hour < self.day_end_hour:
+            return self.day_factor
+        return self.night_factor
+
+    def multipliers(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`multiplier`."""
+        times = np.asarray(times, dtype=float)
+        weekend = (times // DAY).astype(int) % 7 >= 5
+        hour = (times % DAY) / HOUR
+        day = (hour >= self.day_start_hour) & (hour < self.day_end_hour)
+        out = np.where(day, self.day_factor, self.night_factor)
+        return np.where(weekend, self.weekend_factor, out)
+
+    @property
+    def max_factor(self) -> float:
+        return max(self.day_factor, self.night_factor, self.weekend_factor)
+
+    def mean_factor(self) -> float:
+        """Exact long-run mean multiplier over one week."""
+        day_hours = self.day_end_hour - self.day_start_hour
+        weekday = day_hours * self.day_factor + (24 - day_hours) * self.night_factor
+        weekend = 24 * self.weekend_factor
+        return (5 * weekday + 2 * weekend) / (7 * 24)
+
+
+@dataclass(frozen=True)
+class BurstyProcess:
+    """Two-state Markov rate modulation (quiet / burst).
+
+    State dwell times are exponential with the given means; during a
+    burst the rate is multiplied by ``burst_factor``, otherwise by
+    ``quiet_factor``.
+    """
+
+    mean_quiet_s: float = 8 * HOUR
+    mean_burst_s: float = 2 * HOUR
+    burst_factor: float = 4.0
+    quiet_factor: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.mean_quiet_s <= 0 or self.mean_burst_s <= 0:
+            raise ConfigurationError("dwell means must be positive")
+        if self.burst_factor < self.quiet_factor:
+            raise ConfigurationError("burst_factor must be >= quiet_factor")
+        if self.quiet_factor < 0:
+            raise ConfigurationError("quiet_factor must be >= 0")
+
+    def sample_states(
+        self, duration: float, rng: np.random.Generator
+    ) -> List[Tuple[float, float, float]]:
+        """Alternating (start, end, factor) segments covering
+        ``[0, duration)``, starting in the quiet state."""
+        segments: List[Tuple[float, float, float]] = []
+        t = 0.0
+        in_burst = False
+        while t < duration:
+            mean = self.mean_burst_s if in_burst else self.mean_quiet_s
+            factor = self.burst_factor if in_burst else self.quiet_factor
+            dwell = float(rng.exponential(mean))
+            end = min(duration, t + dwell)
+            segments.append((t, end, factor))
+            t = end
+            in_burst = not in_burst
+        return segments
+
+    def mean_factor(self) -> float:
+        """Long-run mean multiplier (stationary dwell-time weighting)."""
+        total = self.mean_quiet_s + self.mean_burst_s
+        return (
+            self.mean_quiet_s * self.quiet_factor
+            + self.mean_burst_s * self.burst_factor
+        ) / total
+
+    @property
+    def max_factor(self) -> float:
+        return self.burst_factor
+
+
+def generate_arrivals(
+    n_target: int,
+    duration: float,
+    rng: np.random.Generator,
+    cycle: WeeklyCycle = WeeklyCycle(),
+    bursts: BurstyProcess = BurstyProcess(),
+) -> np.ndarray:
+    """Draw bursty, diurnal arrival times over ``[0, duration)``.
+
+    The base rate is normalized by the two modulations' mean factors so
+    the *expected* arrival count equals ``n_target`` (realized counts
+    are Poisson-distributed around it).
+    """
+    if n_target <= 0:
+        raise ConfigurationError(f"n_target must be positive: {n_target}")
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive: {duration}")
+    base_rate = n_target / duration / (cycle.mean_factor() * bursts.mean_factor())
+    lam_max = base_rate * cycle.max_factor * bursts.max_factor
+    candidates = PoissonProcess(lam_max).sample(duration, rng)
+    if candidates.size == 0:
+        return candidates
+    # Piecewise burst factors at candidate times.
+    segments = bursts.sample_states(duration, rng)
+    seg_starts = np.array([s for s, _, _ in segments])
+    seg_factors = np.array([f for _, _, f in segments])
+    seg_idx = np.clip(
+        np.searchsorted(seg_starts, candidates, side="right") - 1,
+        0,
+        len(segments) - 1,
+    )
+    intensity = base_rate * cycle.multipliers(candidates) * seg_factors[seg_idx]
+    keep = rng.uniform(0.0, lam_max, size=candidates.size) < intensity
+    return candidates[keep]

@@ -1,0 +1,182 @@
+"""Job attribute distributions.
+
+Three model families, each matching a property the paper calls out:
+
+* :class:`PowerOfTwoWidths` — job widths are powers of two with a
+  log-uniform-ish weighting whose fat tail makes bin packing hard ("such
+  fat tails in the marginal distributions are a critical component in
+  the performance of a machine");
+* :class:`LogNormalRuntimes` — heavy-tailed runtimes parameterized by
+  median and a dispersion giving mean/median ratios near the paper's
+  2.5 h / 0.8 h, with an optional weeks-long mixture component for Ross;
+* :class:`DefaultHeavyEstimates` — user estimates that are "usually a
+  default rather than a true estimate", drawn from a menu of round
+  wall-times (median 6 h) and floored at the actual runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerOfTwoWidths:
+    """Widths ``2**k`` for ``k`` in ``[0, max_exponent]``.
+
+    ``tilt`` skews the exponent distribution: 0 is log-uniform, positive
+    values favour narrow jobs, negative values favour wide jobs.  The
+    weight of exponent ``k`` is ``exp(-tilt * k)``.
+    """
+
+    max_exponent: int
+    tilt: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_exponent < 0:
+            raise ConfigurationError(
+                f"max_exponent must be >= 0: {self.max_exponent}"
+            )
+
+    def probabilities(self) -> np.ndarray:
+        k = np.arange(self.max_exponent + 1)
+        w = np.exp(-self.tilt * k)
+        return w / w.sum()
+
+    def mean(self) -> float:
+        """Expected width."""
+        k = np.arange(self.max_exponent + 1)
+        return float(np.sum(self.probabilities() * 2.0 ** k))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` widths (int array)."""
+        k = rng.choice(
+            self.max_exponent + 1, size=n, p=self.probabilities()
+        )
+        return (2 ** k).astype(int)
+
+    @classmethod
+    def for_machine(
+        cls, machine_cpus: int, max_fraction: float, tilt: float = 0.0
+    ) -> "PowerOfTwoWidths":
+        """Widths up to ``max_fraction`` of a machine, rounded down to a
+        power of two."""
+        if not (0 < max_fraction <= 1):
+            raise ConfigurationError(
+                f"max_fraction must be in (0, 1]: {max_fraction}"
+            )
+        cap = max(1, int(machine_cpus * max_fraction))
+        return cls(max_exponent=int(math.log2(cap)), tilt=tilt)
+
+
+@dataclass(frozen=True)
+class LogNormalRuntimes:
+    """Log-normal runtimes with an optional long-job mixture.
+
+    Parameters
+    ----------
+    median_s:
+        Median runtime in seconds.
+    sigma:
+        Log-space standard deviation; the mean/median ratio is
+        ``exp(sigma**2 / 2)`` (sigma = 1.5 gives the paper's ~3x).
+    long_fraction, long_scale:
+        With probability ``long_fraction`` a job's runtime is multiplied
+        by ``long_scale`` — the "jobs on the order of weeks" Ross allows.
+    min_runtime_s:
+        Floor to keep degenerate sub-second jobs out of the trace.
+    """
+
+    median_s: float
+    sigma: float = 1.5
+    long_fraction: float = 0.0
+    long_scale: float = 1.0
+    min_runtime_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise ConfigurationError(f"median_s must be positive: {self.median_s}")
+        if self.sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive: {self.sigma}")
+        if not (0.0 <= self.long_fraction < 1.0):
+            raise ConfigurationError(
+                f"long_fraction must be in [0, 1): {self.long_fraction}"
+            )
+        if self.long_scale < 1.0:
+            raise ConfigurationError(
+                f"long_scale must be >= 1: {self.long_scale}"
+            )
+
+    def mean(self) -> float:
+        """Expected runtime (including the long-job component)."""
+        base = self.median_s * math.exp(self.sigma ** 2 / 2.0)
+        return base * (
+            1.0 - self.long_fraction + self.long_fraction * self.long_scale
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` runtimes in seconds."""
+        runtimes = rng.lognormal(
+            mean=math.log(self.median_s), sigma=self.sigma, size=n
+        )
+        if self.long_fraction > 0.0:
+            long_mask = rng.uniform(size=n) < self.long_fraction
+            runtimes[long_mask] *= self.long_scale
+        return np.maximum(runtimes, self.min_runtime_s)
+
+
+@dataclass(frozen=True)
+class DefaultHeavyEstimates:
+    """User estimates as defaults plus occasional honest attempts.
+
+    With probability ``default_fraction`` the user picks a round default
+    wall-time from ``defaults_s`` (weighted by ``default_weights``);
+    otherwise the estimate is the runtime times a log-normal
+    overestimation factor (>= 1).  Estimates are always floored at the
+    actual runtime: batch systems kill jobs at the wall limit, so an
+    admitted job's runtime never exceeds its estimate.
+    """
+
+    default_fraction: float = 0.6
+    defaults_s: Tuple[float, ...] = (
+        2 * 3600.0,
+        6 * 3600.0,
+        12 * 3600.0,
+        24 * 3600.0,
+        48 * 3600.0,
+    )
+    default_weights: Tuple[float, ...] = (0.10, 0.50, 0.20, 0.15, 0.05)
+    honest_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.default_fraction <= 1.0):
+            raise ConfigurationError(
+                f"default_fraction must be in [0, 1]: {self.default_fraction}"
+            )
+        if len(self.defaults_s) != len(self.default_weights):
+            raise ConfigurationError("defaults/weights length mismatch")
+        if any(d <= 0 for d in self.defaults_s):
+            raise ConfigurationError("defaults must be positive")
+        if abs(sum(self.default_weights) - 1.0) > 1e-9:
+            raise ConfigurationError("default_weights must sum to 1")
+
+    def sample(
+        self, runtimes: Sequence[float], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one estimate per runtime (element-wise >= runtime)."""
+        runtimes = np.asarray(runtimes, dtype=float)
+        n = runtimes.size
+        use_default = rng.uniform(size=n) < self.default_fraction
+        defaults = rng.choice(
+            self.defaults_s, size=n, p=self.default_weights
+        )
+        honest = runtimes * np.exp(
+            np.abs(rng.normal(0.0, self.honest_sigma, size=n))
+        )
+        estimates = np.where(use_default, defaults, honest)
+        return np.maximum(estimates, runtimes)

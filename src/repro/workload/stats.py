@@ -1,0 +1,91 @@
+"""Aggregate trace statistics (Table 1 style summaries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.machines import Machine
+from repro.units import DAY, HOUR
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a native trace on a machine."""
+
+    name: str
+    n_jobs: int
+    duration_days: float
+    offered_utilization: float
+    median_runtime_h: float
+    mean_runtime_h: float
+    median_estimate_h: float
+    mean_estimate_h: float
+    mean_width: float
+    max_width: int
+    width_histogram: Dict[int, int]
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"trace {self.name}: {self.n_jobs} jobs over "
+            f"{self.duration_days:.1f} days",
+            f"  offered utilization: {self.offered_utilization:.3f}",
+            f"  runtime  median {self.median_runtime_h:.2f} h / "
+            f"mean {self.mean_runtime_h:.2f} h",
+            f"  estimate median {self.median_estimate_h:.2f} h / "
+            f"mean {self.mean_estimate_h:.2f} h",
+            f"  width mean {self.mean_width:.1f} CPUs, "
+            f"max {self.max_width}",
+        ]
+        return "\n".join(lines)
+
+
+def compute_stats(trace: Trace, machine: Machine) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace on ``machine``."""
+    if trace.n_jobs == 0:
+        raise ValidationError("cannot summarize an empty trace")
+    runtimes = np.array([j.runtime for j in trace.jobs])
+    estimates = np.array([j.estimate for j in trace.jobs])
+    widths = np.array([j.cpus for j in trace.jobs])
+    histogram: Dict[int, int] = {}
+    for w in widths:
+        histogram[int(w)] = histogram.get(int(w), 0) + 1
+    return TraceStats(
+        name=trace.name,
+        n_jobs=trace.n_jobs,
+        duration_days=trace.duration / DAY,
+        offered_utilization=trace.offered_utilization(machine),
+        median_runtime_h=float(np.median(runtimes)) / HOUR,
+        mean_runtime_h=float(np.mean(runtimes)) / HOUR,
+        median_estimate_h=float(np.median(estimates)) / HOUR,
+        mean_estimate_h=float(np.mean(estimates)) / HOUR,
+        mean_width=float(np.mean(widths)),
+        max_width=int(widths.max()),
+        width_histogram=histogram,
+    )
+
+
+def burstiness_index(trace: Trace, bin_s: float = HOUR) -> float:
+    """Index of dispersion of arrival counts (variance / mean over
+    fixed bins): 1 for Poisson, larger for bursty processes.
+
+    The paper attributes uneven load partly to bursty submissions; this
+    lets tests assert the synthetic generator actually is bursty.
+    """
+    if trace.n_jobs == 0 or trace.duration <= 0:
+        raise ValidationError("cannot compute burstiness of an empty trace")
+    n_bins = max(1, int(trace.duration // bin_s))
+    counts, _ = np.histogram(
+        [j.submit_time for j in trace.jobs],
+        bins=n_bins,
+        range=(0.0, n_bins * bin_s),
+    )
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.var() / mean)

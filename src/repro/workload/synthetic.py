@@ -1,0 +1,214 @@
+"""Calibrated synthetic native workloads for the ASCI machines.
+
+The original logs are proprietary, so we generate per-machine synthetic
+traces that match every aggregate the paper reports (see Table 1 and
+§4.3): utilization, job count, log length, heavy-tailed runtimes with
+the reported medians, fat-tailed power-of-two widths, bursty diurnal
+arrivals and default-heavy user estimates.  Calibration is exact for
+*offered* utilization: runtimes are rescaled so the trace's total work
+equals ``U * N * duration`` (the realized, scheduled utilization then
+lands close to the target; tests assert the gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.jobs import Job, JobKind
+from repro.machines import Machine
+from repro.machines.presets import WorkloadTargets, preset, targets
+from repro.workload.arrivals import BurstyProcess, WeeklyCycle, generate_arrivals
+from repro.workload.distributions import (
+    DefaultHeavyEstimates,
+    LogNormalRuntimes,
+    PowerOfTwoWidths,
+)
+from repro.workload.trace import Trace
+
+#: No generated job may exceed this fraction of the log length, keeping
+#: the calibration loop stable (a job longer than the log would never
+#: appear completed in a real log).
+_MAX_RUNTIME_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class MachineMixProfile:
+    """Distributional shape of one machine's native job mix."""
+
+    widths: PowerOfTwoWidths
+    runtimes: LogNormalRuntimes
+    estimates: DefaultHeavyEstimates
+    cycle: WeeklyCycle
+    bursts: BurstyProcess
+    n_users: int = 25
+    n_groups: int = 5
+    #: Zipf exponent of user activity weights.
+    user_zipf: float = 0.8
+
+
+def mix_profile(name: str, machine: Machine) -> MachineMixProfile:
+    """The tuned mix profile for a preset machine.
+
+    * **ross** — widths up to half the machine, a 4 % weeks-long job
+      component ("users can submit very long jobs, on the order of
+      weeks");
+    * **blue_mountain** — the paper's reported medians directly
+      (actual 0.8 h / estimate 6 h), widths up to half the machine;
+    * **blue_pacific** — "relatively smaller and shorter" jobs: widths
+      capped at a quarter of the machine and tilted narrow, short
+      runtimes, so the machine turns over quickly despite .907 load.
+    """
+    try:
+        t = targets(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"no mix profile for machine preset {name!r}"
+        ) from None
+    if name == "ross":
+        return MachineMixProfile(
+            widths=PowerOfTwoWidths.for_machine(
+                machine.cpus, t.max_width_fraction, tilt=0.10
+            ),
+            runtimes=LogNormalRuntimes(
+                median_s=t.median_runtime_s,
+                sigma=1.4,
+                long_fraction=0.04,
+                long_scale=25.0,
+            ),
+            estimates=DefaultHeavyEstimates(default_fraction=0.6),
+            cycle=WeeklyCycle(),
+            bursts=BurstyProcess(),
+        )
+    if name == "blue_mountain":
+        return MachineMixProfile(
+            widths=PowerOfTwoWidths.for_machine(
+                machine.cpus, t.max_width_fraction, tilt=0.0
+            ),
+            runtimes=LogNormalRuntimes(median_s=t.median_runtime_s, sigma=1.5),
+            estimates=DefaultHeavyEstimates(default_fraction=0.6),
+            cycle=WeeklyCycle(),
+            bursts=BurstyProcess(),
+        )
+    if name == "blue_pacific":
+        return MachineMixProfile(
+            widths=PowerOfTwoWidths.for_machine(
+                # Slightly wide-tilted: with per-job areas fixed by the
+                # utilization calibration, this is what makes the jobs
+                # *short* (the paper's fast turnover) while still
+                # relatively smaller than Blue Mountain's.
+                machine.cpus, t.max_width_fraction, tilt=-0.3
+            ),
+            runtimes=LogNormalRuntimes(median_s=t.median_runtime_s, sigma=1.3),
+            estimates=DefaultHeavyEstimates(default_fraction=0.55),
+            cycle=WeeklyCycle(),
+            bursts=BurstyProcess(mean_burst_s=1.5 * 3600.0),
+            n_users=40,
+            n_groups=8,
+        )
+    raise ConfigurationError(f"no mix profile for machine preset {name!r}")
+
+
+def generate_trace(
+    machine: Machine,
+    target: WorkloadTargets,
+    profile: MachineMixProfile,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    name: str = "",
+) -> Trace:
+    """Generate a calibrated native trace.
+
+    ``scale`` shrinks log length and job count together (utilization and
+    mix shape preserved) so tests and benchmarks can run at laptop
+    scale.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive: {scale}")
+    duration = target.duration_s * scale
+    n_target = max(1, round(target.n_jobs * scale))
+    arrivals = generate_arrivals(
+        n_target, duration, rng, cycle=profile.cycle, bursts=profile.bursts
+    )
+    if arrivals.size == 0:
+        raise ConfigurationError(
+            "arrival process produced no jobs; increase scale"
+        )
+    n = arrivals.size
+    widths = profile.widths.sample(n, rng)
+    runtimes = profile.runtimes.sample(n, rng)
+
+    # Calibrate offered area to U * N * duration, iterating the rescale
+    # against the max-runtime cap until stable.
+    target_area = target.utilization * machine.cpus * duration
+    cap = _MAX_RUNTIME_FRACTION * duration
+    for _ in range(4):
+        runtimes = np.minimum(runtimes, cap)
+        area = float(np.sum(widths * runtimes))
+        if area <= 0:
+            raise ConfigurationError("degenerate trace: zero offered work")
+        runtimes = runtimes * (target_area / area)
+    runtimes = np.minimum(np.maximum(runtimes, 1.0), cap)
+
+    estimates = profile.estimates.sample(runtimes, rng)
+
+    # User population with Zipf-weighted activity; users map to groups
+    # round-robin so groups have balanced populations.
+    ranks = np.arange(1, profile.n_users + 1, dtype=float)
+    user_p = ranks ** -profile.user_zipf
+    user_p /= user_p.sum()
+    user_ids = rng.choice(profile.n_users, size=n, p=user_p)
+
+    jobs = []
+    for i in range(n):
+        uid = int(user_ids[i])
+        jobs.append(
+            Job(
+                cpus=int(widths[i]),
+                runtime=float(runtimes[i]),
+                estimate=float(estimates[i]),
+                submit_time=float(arrivals[i]),
+                user=f"user{uid}",
+                group=f"group{uid % profile.n_groups}",
+                kind=JobKind.NATIVE,
+            )
+        )
+    return Trace(jobs=jobs, duration=duration, name=name or machine.name)
+
+
+def synthetic_trace_for(
+    name: str,
+    rng: Optional[np.random.Generator] = None,
+    scale: float = 1.0,
+    machine: Optional[Machine] = None,
+    utilization: Optional[float] = None,
+) -> Trace:
+    """One-call trace builder for a preset machine name.
+
+    Parameters
+    ----------
+    name:
+        ``ross``, ``blue_mountain`` or ``blue_pacific``.
+    rng:
+        Randomness source (seeded default for reproducibility).
+    scale:
+        Log-length/job-count scale factor.
+    machine:
+        Optional substitute machine (e.g. a :meth:`Machine.scaled`
+        shrunk copy); widths are re-derived for its size.
+    utilization:
+        Optional override of the target utilization (used by ablations
+        sweeping load).
+    """
+    rng = rng or np.random.default_rng(12345)
+    machine = machine or preset(name)
+    target = targets(name)
+    if utilization is not None:
+        target = replace(target, utilization=utilization)
+    profile = mix_profile(name, machine)
+    return generate_trace(
+        machine, target, profile, rng, scale=scale, name=f"{name} synthetic"
+    )

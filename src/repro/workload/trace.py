@@ -1,0 +1,88 @@
+"""Trace container: a native job log plus its nominal duration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ValidationError
+from repro.jobs import Job
+from repro.machines import Machine
+
+
+@dataclass
+class Trace:
+    """A native job log.
+
+    Parameters
+    ----------
+    jobs:
+        Native jobs sorted (or sortable) by submit time.
+    duration:
+        Nominal log length in seconds; submissions all fall in
+        ``[0, duration]``.  Experiments use this as the metrics horizon.
+    name:
+        Label for reports.
+    """
+
+    jobs: List[Job] = field(default_factory=list)
+    duration: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValidationError(
+                f"duration must be >= 0, got {self.duration}"
+            )
+        for job in self.jobs:
+            if job.submit_time > self.duration:
+                raise ValidationError(
+                    f"job {job.job_id} submitted at {job.submit_time} after "
+                    f"trace end {self.duration}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def sorted_jobs(self) -> List[Job]:
+        """Jobs in submission order (stable on job id)."""
+        return sorted(self.jobs, key=lambda j: (j.submit_time, j.job_id))
+
+    def offered_area(self) -> float:
+        """Total actual work in CPU-seconds."""
+        return sum(job.area for job in self.jobs)
+
+    def offered_utilization(self, machine: Machine) -> float:
+        """Offered load: total work / machine capacity over the log."""
+        if self.duration <= 0:
+            raise ValidationError("trace has no duration")
+        return self.offered_area() / (machine.cpus * self.duration)
+
+    def copy(self) -> "Trace":
+        """Deep-ish copy with pristine job scheduling state."""
+        return Trace(
+            jobs=[job.copy_unscheduled() for job in self.jobs],
+            duration=self.duration,
+            name=self.name,
+        )
+
+    def truncated(self, duration: float, name: str = "") -> "Trace":
+        """A shorter trace containing only submissions before
+        ``duration`` (used to scale experiments down)."""
+        if duration <= 0:
+            raise ValidationError(f"duration must be positive: {duration}")
+        jobs = [
+            job.copy_unscheduled()
+            for job in self.jobs
+            if job.submit_time <= duration
+        ]
+        return Trace(
+            jobs=jobs, duration=duration, name=name or f"{self.name}[:{duration:.0f}s]"
+        )

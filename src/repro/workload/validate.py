@@ -1,0 +1,141 @@
+"""Trace validation for externally-supplied logs.
+
+The synthetic generators construct valid traces by design; SWF files
+from the wild do not.  :func:`validate_trace` checks every invariant
+the simulator relies on and returns a structured report instead of
+failing deep inside a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.jobs import Job
+from repro.machines import Machine
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceIssue:
+    """One validation finding."""
+
+    severity: str  # "error" (simulation would misbehave) or "warning"
+    job_id: Optional[int]
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_trace`."""
+
+    issues: List[TraceIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    @property
+    def errors(self) -> List[TraceIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[TraceIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def describe(self) -> str:
+        if not self.issues:
+            return "trace OK: no issues found"
+        lines = [
+            f"trace validation: {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings"
+        ]
+        for issue in self.issues[:50]:
+            prefix = issue.severity.upper()
+            job = f" job {issue.job_id}" if issue.job_id is not None else ""
+            lines.append(f"  [{prefix}]{job}: {issue.message}")
+        if len(self.issues) > 50:
+            lines.append(f"  ... and {len(self.issues) - 50} more")
+        return "\n".join(lines)
+
+
+def validate_trace(
+    trace: Trace,
+    machine: Optional[Machine] = None,
+    long_job_fraction_of_log: float = 0.5,
+) -> ValidationReport:
+    """Check a trace against the simulator's invariants.
+
+    Errors (simulation would reject or misbehave):
+
+    * job wider than the machine;
+    * non-finite or negative times;
+    * estimate below runtime (impossible under kill-at-limit batch
+      semantics — SWF ingestion floors these, but hand-built traces
+      may not);
+    * submission after the trace's nominal duration.
+
+    Warnings (legal but suspicious):
+
+    * jobs longer than ``long_job_fraction_of_log`` of the log;
+    * zero-runtime jobs;
+    * duplicate job ids.
+    """
+    report = ValidationReport()
+
+    def error(job: Optional[Job], message: str) -> None:
+        report.issues.append(
+            TraceIssue("error", job.job_id if job else None, message)
+        )
+
+    def warn(job: Optional[Job], message: str) -> None:
+        report.issues.append(
+            TraceIssue("warning", job.job_id if job else None, message)
+        )
+
+    seen_ids = set()
+    for job in trace.jobs:
+        if machine is not None and job.cpus > machine.cpus:
+            error(
+                job,
+                f"width {job.cpus} exceeds machine "
+                f"{machine.name} ({machine.cpus} CPUs)",
+            )
+        for name, value in (
+            ("submit_time", job.submit_time),
+            ("runtime", job.runtime),
+            ("estimate", job.estimate),
+        ):
+            if not math.isfinite(value) or value < 0:
+                error(job, f"{name} is {value!r}")
+        if job.estimate < job.runtime:
+            error(
+                job,
+                f"estimate {job.estimate} below runtime {job.runtime}",
+            )
+        if trace.duration > 0 and job.submit_time > trace.duration:
+            error(
+                job,
+                f"submitted at {job.submit_time} after trace end "
+                f"{trace.duration}",
+            )
+        if (
+            trace.duration > 0
+            and job.runtime > long_job_fraction_of_log * trace.duration
+        ):
+            warn(
+                job,
+                f"runtime {job.runtime:.0f}s spans more than "
+                f"{long_job_fraction_of_log:.0%} of the log",
+            )
+        if job.runtime == 0.0:
+            warn(job, "zero runtime")
+        if job.job_id in seen_ids:
+            warn(job, "duplicate job id")
+        seen_ids.add(job.job_id)
+
+    if not trace.jobs:
+        warn(None, "trace is empty")
+    return report

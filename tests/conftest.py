@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.jobs import Job, JobKind
+from repro.machines import Machine
+from repro.sched import fcfs_scheduler
+from repro.sched.queue_scheduler import BackfillMode
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(20030915)
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A 64-CPU, 1 GHz machine — big enough for interesting packings,
+    small enough to reason about by hand."""
+    return Machine(name="TestBox", cpus=64, clock_ghz=1.0, site="lab",
+                   queue_algorithm="FCFS")
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    """An 8-CPU machine for hand-computed schedules."""
+    return Machine(name="Nano", cpus=8, clock_ghz=1.0)
+
+
+def make_job(
+    cpus: int = 1,
+    runtime: float = 100.0,
+    estimate: Optional[float] = None,
+    submit: float = 0.0,
+    user: str = "u0",
+    group: str = "g0",
+    kind: JobKind = JobKind.NATIVE,
+) -> Job:
+    """Terse job factory used across the suite."""
+    return Job(
+        cpus=cpus,
+        runtime=runtime,
+        estimate=runtime if estimate is None else estimate,
+        submit_time=submit,
+        user=user,
+        group=group,
+        kind=kind,
+    )
+
+
+def fcfs() -> "object":
+    """Fresh FCFS+EASY scheduler (schedulers hold queue state, so tests
+    must not share instances)."""
+    return fcfs_scheduler()
+
+
+def fcfs_plain() -> "object":
+    """FCFS without backfill."""
+    return fcfs_scheduler(backfill=BackfillMode.NONE)
+
+
+def random_native_trace(
+    rng: np.random.Generator,
+    machine: Machine,
+    n_jobs: int = 40,
+    horizon: float = 50_000.0,
+    max_width_fraction: float = 0.5,
+) -> List[Job]:
+    """A random rigid-job trace for property tests (estimates >= runtimes,
+    widths within the machine)."""
+    jobs = []
+    max_width = max(1, int(machine.cpus * max_width_fraction))
+    for _ in range(n_jobs):
+        runtime = float(rng.uniform(10.0, 5000.0))
+        jobs.append(
+            Job(
+                cpus=int(rng.integers(1, max_width + 1)),
+                runtime=runtime,
+                estimate=runtime * float(rng.uniform(1.0, 8.0)),
+                submit_time=float(rng.uniform(0.0, horizon)),
+                user=f"u{int(rng.integers(0, 5))}",
+                group=f"g{int(rng.integers(0, 2))}",
+            )
+        )
+    return jobs

@@ -1,0 +1,105 @@
+"""Tests for preemptible interstitial mode (the ablation extension)."""
+
+import pytest
+
+from repro.core.controller import InterstitialController
+from repro.core.runners import run_native, run_with_controller
+from repro.jobs import InterstitialProject, JobKind, JobState
+from repro.machines import Machine
+
+from tests.conftest import make_job, random_native_trace
+
+
+@pytest.fixture
+def machine():
+    return Machine(name="R", cpus=16, clock_ghz=1.0, queue_algorithm="LSF")
+
+
+def test_preemption_restores_native_start(machine):
+    """A native job blocked only by interstitial work starts immediately
+    when preemption is on."""
+    project = InterstitialProject(n_jobs=1, cpus_per_job=2,
+                                  runtime_1ghz=10_000.0)
+    # The tiny trigger job at t=0 gives the controller its first
+    # scheduling pass (passes only happen on events), filling the
+    # machine with interstitial work before the real native arrives.
+    trigger = make_job(cpus=1, runtime=1.0, submit=0.0)
+    native = make_job(cpus=16, runtime=100.0, submit=50.0)
+
+    # Without preemption the native waits for the last interstitial
+    # batch (started at t=1 when the trigger finished) to end at 10001.
+    for preemptible, expected_start in ((False, 10_001.0), (True, 50.0)):
+        controller = InterstitialController(
+            machine=machine,
+            project=project,
+            continual=True,
+            preemptible=preemptible,
+        )
+        trace = [trigger.copy_unscheduled(), native.copy_unscheduled()]
+        result = run_with_controller(
+            machine, trace, controller, horizon=40.0
+        )
+        started = [
+            j for j in result.finished if j.is_native and j.cpus == 16
+        ]
+        assert len(started) == 1
+        assert started[0].start_time == pytest.approx(expected_start)
+
+
+def test_killed_jobs_tracked_and_recredited(machine):
+    project = InterstitialProject(n_jobs=1, cpus_per_job=2,
+                                  runtime_1ghz=10_000.0)
+    controller = InterstitialController(
+        machine=machine, project=project, continual=True, preemptible=True
+    )
+    trigger = make_job(cpus=1, runtime=1.0, submit=0.0)
+    native = make_job(cpus=16, runtime=100.0, submit=50.0)
+    result = run_with_controller(
+        machine, [trigger, native], controller, horizon=40.0
+    )
+    assert len(result.killed) == 8  # all 8 two-wide jobs die
+    assert all(j.state is JobState.KILLED for j in result.killed)
+    assert controller.n_preempted == 8
+    # Killed jobs never appear among the finished.
+    finished_ids = {j.job_id for j in result.finished}
+    assert not finished_ids & {j.job_id for j in result.killed}
+
+
+def test_no_kills_when_they_cannot_help(machine):
+    """If natives (not interstitial jobs) hold the CPUs, nothing is
+    killed."""
+    project = InterstitialProject(n_jobs=1, cpus_per_job=2,
+                                  runtime_1ghz=10_000.0)
+    controller = InterstitialController(
+        machine=machine, project=project, continual=True, preemptible=True
+    )
+    # Native A holds 10 CPUs for a long time; interstitial fills 6;
+    # native B needs 16 — even killing all interstitial leaves only 6+0.
+    native_a = make_job(cpus=10, runtime=5000.0, submit=0.0)
+    native_b = make_job(cpus=16, runtime=10.0, submit=100.0)
+    result = run_with_controller(
+        machine, [native_a, native_b], controller, horizon=90.0
+    )
+    # Kills happen only after native A releases at t=5000 (if at all);
+    # before that they would be pointless.
+    early_kills = [j for j in result.killed if j.finish_time < 5000.0]
+    assert not early_kills
+
+
+def test_preemption_waste_is_counted(machine, rng):
+    trace = random_native_trace(rng, machine, n_jobs=25, horizon=30_000.0)
+    project = InterstitialProject(n_jobs=1, cpus_per_job=2,
+                                  runtime_1ghz=500.0)
+    controller = InterstitialController(
+        machine=machine, project=project, continual=True, preemptible=True
+    )
+    result = run_with_controller(
+        machine, trace, controller, horizon=30_000.0
+    )
+    for victim in result.killed:
+        assert victim.start_time is not None
+        assert victim.finish_time >= victim.start_time
+        # Killed before natural completion.
+        assert (
+            victim.finish_time - victim.start_time
+        ) <= victim.runtime + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for short-project sampling from continual logs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    makespan_from,
+    sample_short_projects,
+)
+from repro.errors import ValidationError
+from repro.jobs import JobKind
+
+from tests.conftest import make_job
+
+
+def finished_job(start, finish, cpus=1):
+    job = make_job(cpus=cpus, runtime=finish - start,
+                   kind=JobKind.INTERSTITIAL)
+    job.start_time = start
+    job.finish_time = finish
+    return job
+
+
+class TestMakespanFrom:
+    def test_basic(self):
+        starts = np.array([0.0, 10.0, 20.0, 30.0])
+        finishes = np.array([5.0, 15.0, 25.0, 35.0])
+        # Project of 2 jobs starting at t1=8: jobs at 10 and 20,
+        # last finish 25 -> makespan 17.
+        assert makespan_from(starts, finishes, 8.0, 2) == 17.0
+
+    def test_exact_start_included(self):
+        starts = np.array([10.0, 20.0])
+        finishes = np.array([15.0, 25.0])
+        assert makespan_from(starts, finishes, 10.0, 1) == 5.0
+
+    def test_insufficient_jobs_none(self):
+        starts = np.array([0.0, 10.0])
+        finishes = np.array([5.0, 15.0])
+        assert makespan_from(starts, finishes, 5.0, 2) is None
+
+    def test_max_finish_not_last(self):
+        # An early-started long job can dominate the makespan.
+        starts = np.array([0.0, 10.0])
+        finishes = np.array([100.0, 15.0])
+        assert makespan_from(starts, finishes, 0.0, 2) == 100.0
+
+
+class TestSampleShortProjects:
+    def test_validation(self):
+        jobs = [finished_job(0.0, 10.0)]
+        with pytest.raises(ValidationError):
+            sample_short_projects(jobs, 0, 5, np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            sample_short_projects(jobs, 1, 0, np.random.default_rng(0))
+
+    def test_no_completed_jobs(self):
+        with pytest.raises(ValidationError):
+            sample_short_projects([], 1, 5, np.random.default_rng(0))
+
+    def test_log_too_short_returns_empty(self):
+        jobs = [finished_job(0.0, 10.0)]
+        out = sample_short_projects(jobs, 5, 10, np.random.default_rng(0))
+        assert out.size == 0
+
+    def test_samples_are_positive(self):
+        jobs = [finished_job(i * 10.0, i * 10.0 + 5.0) for i in range(50)]
+        out = sample_short_projects(jobs, 3, 20, np.random.default_rng(1))
+        assert out.size == 20
+        assert (out > 0).all()
+
+    def test_deterministic_given_rng(self):
+        jobs = [finished_job(i * 10.0, i * 10.0 + 5.0) for i in range(50)]
+        a = sample_short_projects(jobs, 3, 10, np.random.default_rng(7))
+        b = sample_short_projects(jobs, 3, 10, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_uniform_stream_makespan_matches_rate(self):
+        # One job starts every 10 s and runs 5 s: a 10-job project
+        # sampled anywhere takes ~ 10 * 10 (+ alignment slack).
+        jobs = [finished_job(i * 10.0, i * 10.0 + 5.0) for i in range(200)]
+        out = sample_short_projects(jobs, 10, 50, np.random.default_rng(2))
+        assert out.size == 50
+        assert (out >= 90.0).all() and (out <= 110.0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_stream=st.integers(5, 80),
+    n_project=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_property_sampled_makespans_cover_project_runtimes(
+    n_stream, n_project, seed
+):
+    """Every sampled makespan is at least one job runtime (jobs run 5 s)
+    and is finite."""
+    jobs = [finished_job(i * 7.0, i * 7.0 + 5.0) for i in range(n_stream)]
+    out = sample_short_projects(
+        jobs, n_project, 10, np.random.default_rng(seed)
+    )
+    assert np.isfinite(out).all()
+    if out.size:
+        assert (out >= 5.0 - 1e-9).all()

@@ -1,0 +1,19 @@
+"""Micro experiment scale shared by driver tests: small enough to run
+every driver in the unit-test suite, large enough to exercise the full
+pipeline."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def micro_scale() -> ExperimentScale:
+    return ExperimentScale(
+        name="micro-test",
+        trace_scale=0.02,
+        project_scale=0.01,
+        omniscient_samples=3,
+        sampled_projects=20,
+        seed=99,
+    )

@@ -1,0 +1,91 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    clear_caches,
+    continual_result_for,
+    fmt_h,
+    fmt_k,
+    fmt_pm_h,
+    native_result_for,
+    project_from,
+    rng_for,
+    scaled_kjobs,
+    trace_for,
+)
+from repro.jobs import JobKind
+
+
+class TestFormatting:
+    def test_fmt_h(self):
+        assert fmt_h(7200.0) == "2.0"
+
+    def test_fmt_pm_h(self):
+        assert fmt_pm_h(7200.0, 3600.0) == "2.0 ± 1.0"
+
+    def test_fmt_k_small(self):
+        assert fmt_k(42.0) == "42"
+
+    def test_fmt_k_large(self):
+        assert fmt_k(4400.0) == "4.4k"
+
+    def test_fmt_k_boundary(self):
+        assert fmt_k(999.4) == "999"
+        assert fmt_k(999.6) == "1.0k"
+
+
+class TestScaling:
+    def test_scaled_kjobs(self, micro_scale):
+        # 32 kJobs at 0.01 project scale -> 320 jobs.
+        assert scaled_kjobs(32.0, micro_scale) == 320
+
+    def test_scaled_kjobs_floor_one(self, micro_scale):
+        assert scaled_kjobs(0.01, micro_scale) == 1
+
+    def test_project_from(self, micro_scale):
+        project = project_from(2.0, 32, 120.0, micro_scale)
+        assert project.n_jobs == 20
+        assert project.cpus_per_job == 32
+
+
+class TestRng:
+    def test_deterministic(self, micro_scale):
+        a = rng_for(micro_scale, "x").integers(0, 1 << 30)
+        b = rng_for(micro_scale, "x").integers(0, 1 << 30)
+        assert a == b
+
+    def test_salt_differentiates(self, micro_scale):
+        a = rng_for(micro_scale, "x").integers(0, 1 << 30)
+        b = rng_for(micro_scale, "y").integers(0, 1 << 30)
+        assert a != b
+
+
+class TestCaches:
+    def test_trace_cached(self, micro_scale):
+        a = trace_for("ross", micro_scale)
+        b = trace_for("ross", micro_scale)
+        assert a is b
+
+    def test_unknown_machine(self, micro_scale):
+        with pytest.raises(ConfigurationError):
+            trace_for("asci_white", micro_scale)
+
+    def test_native_cached_and_complete(self, micro_scale):
+        result = native_result_for("ross", micro_scale)
+        assert result is native_result_for("ross", micro_scale)
+        trace = trace_for("ross", micro_scale)
+        assert len(result.native_jobs) == trace.n_jobs
+
+    def test_continual_cached(self, micro_scale):
+        a, ctrl_a = continual_result_for("ross", micro_scale, 32, 120.0)
+        b, ctrl_b = continual_result_for("ross", micro_scale, 32, 120.0)
+        assert a is b and ctrl_a is ctrl_b
+        assert len(a.jobs(JobKind.INTERSTITIAL)) == ctrl_a.n_submitted
+
+    def test_clear_caches(self, micro_scale):
+        a = trace_for("ross", micro_scale)
+        clear_caches()
+        b = trace_for("ross", micro_scale)
+        assert a is not b

@@ -1,0 +1,46 @@
+"""Tests for experiment scaling configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    SCALE_ENV_VAR,
+    SCALES,
+    ExperimentScale,
+    current_scale,
+)
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"quick", "default", "paper"} <= set(SCALES)
+
+    def test_paper_is_full_scale(self):
+        paper = SCALES["paper"]
+        assert paper.trace_scale == 1.0
+        assert paper.project_scale == 1.0
+        assert paper.omniscient_samples == 20
+        assert paper.sampled_projects == 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", 0.0, 0.1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", 0.1, 2.0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", 0.1, 0.1, 0, 1)
+
+
+class TestCurrentScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert current_scale().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "quick")
+        assert current_scale().name == "quick"
+
+    def test_unknown_env(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "galactic")
+        with pytest.raises(ConfigurationError):
+            current_scale()

@@ -1,0 +1,154 @@
+"""Tests for the Job model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.jobs import Job, JobKind, JobState
+
+from tests.conftest import make_job
+
+
+class TestValidation:
+    def test_valid_job(self):
+        job = make_job(cpus=4, runtime=100.0)
+        assert job.cpus == 4
+        assert job.state is JobState.CREATED
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValidationError):
+            make_job(cpus=0)
+
+    def test_rejects_negative_cpus(self):
+        with pytest.raises(ValidationError):
+            make_job(cpus=-2)
+
+    def test_rejects_bool_cpus(self):
+        with pytest.raises(ValidationError):
+            Job(cpus=True, runtime=1.0, estimate=1.0)
+
+    def test_rejects_non_int_cpus(self):
+        with pytest.raises(ValidationError):
+            Job(cpus=2.5, runtime=1.0, estimate=1.0)
+
+    def test_rejects_negative_runtime(self):
+        with pytest.raises(ValidationError):
+            make_job(runtime=-1.0)
+
+    def test_rejects_estimate_below_runtime(self):
+        # Batch systems kill at the wall limit, so runtime <= estimate.
+        with pytest.raises(ValidationError):
+            Job(cpus=1, runtime=100.0, estimate=50.0)
+
+    def test_allows_estimate_equal_runtime(self):
+        job = Job(cpus=1, runtime=100.0, estimate=100.0)
+        assert job.estimate == 100.0
+
+    def test_rejects_negative_submit(self):
+        with pytest.raises(ValidationError):
+            make_job(submit=-5.0)
+
+    def test_rejects_nan_runtime(self):
+        with pytest.raises(ValidationError):
+            Job(cpus=1, runtime=math.nan, estimate=1.0)
+
+    def test_rejects_infinite_estimate(self):
+        with pytest.raises(ValidationError):
+            Job(cpus=1, runtime=1.0, estimate=math.inf)
+
+    def test_unique_auto_ids(self):
+        a, b = make_job(), make_job()
+        assert a.job_id != b.job_id
+
+
+class TestDerived:
+    def test_area(self):
+        assert make_job(cpus=4, runtime=50.0).area == 200.0
+
+    def test_estimated_area(self):
+        job = make_job(cpus=4, runtime=50.0, estimate=100.0)
+        assert job.estimated_area == 400.0
+
+    def test_kind_flags(self):
+        assert make_job().is_native
+        assert not make_job().is_interstitial
+        ij = make_job(kind=JobKind.INTERSTITIAL)
+        assert ij.is_interstitial and not ij.is_native
+
+    def test_wait_time_requires_start(self):
+        with pytest.raises(ValueError):
+            make_job().wait_time
+
+    def test_wait_time(self):
+        job = make_job(submit=10.0)
+        job.start_time = 35.0
+        assert job.wait_time == 25.0
+
+    def test_expansion_factor_definition(self):
+        # Paper: EF = 1 + wait / runtime.
+        job = make_job(runtime=100.0, submit=0.0)
+        job.start_time = 50.0
+        assert job.expansion_factor == 1.5
+
+    def test_expansion_factor_no_wait(self):
+        job = make_job(runtime=100.0)
+        job.start_time = 0.0
+        assert job.expansion_factor == 1.0
+
+    def test_expansion_factor_zero_runtime(self):
+        job = Job(cpus=1, runtime=0.0, estimate=0.0)
+        job.start_time = 0.0
+        assert job.expansion_factor == 1.0
+        delayed = Job(cpus=1, runtime=0.0, estimate=0.0)
+        delayed.start_time = 5.0
+        assert math.isinf(delayed.expansion_factor)
+
+    def test_estimated_finish(self):
+        job = make_job(runtime=10.0, estimate=100.0)
+        job.start_time = 7.0
+        assert job.estimated_finish == 107.0
+
+
+class TestCopyUnscheduled:
+    def test_clears_schedule_state(self):
+        job = make_job(cpus=2, runtime=60.0)
+        job.start_time = 5.0
+        job.finish_time = 65.0
+        job.state = JobState.FINISHED
+        copy = job.copy_unscheduled()
+        assert copy.start_time is None
+        assert copy.finish_time is None
+        assert copy.state is JobState.CREATED
+
+    def test_preserves_identity_and_shape(self):
+        job = make_job(cpus=3, runtime=42.0, estimate=84.0, submit=7.0,
+                       user="alice", group="physics")
+        copy = job.copy_unscheduled()
+        assert copy.job_id == job.job_id
+        assert copy.cpus == job.cpus
+        assert copy.runtime == job.runtime
+        assert copy.estimate == job.estimate
+        assert copy.submit_time == job.submit_time
+        assert copy.user == job.user
+        assert copy.group == job.group
+        assert copy.kind == job.kind
+
+
+@given(
+    cpus=st.integers(1, 1024),
+    runtime=st.floats(0.0, 1e6),
+    over=st.floats(1.0, 100.0),
+    submit=st.floats(0.0, 1e8),
+)
+def test_property_valid_jobs_construct(cpus, runtime, over, submit):
+    """Any (cpus>0, runtime>=0, estimate>=runtime) combination is valid
+    and derived quantities are consistent."""
+    job = Job(
+        cpus=cpus, runtime=runtime, estimate=runtime * over,
+        submit_time=submit,
+    )
+    assert job.area == cpus * runtime
+    assert job.estimated_area >= job.area

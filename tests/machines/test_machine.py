@@ -1,0 +1,83 @@
+"""Tests for the Machine model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machines import Machine, ProcessorGroup
+
+
+class TestProcessorGroup:
+    def test_capacity(self):
+        group = ProcessorGroup(100, 2.0)
+        assert group.tera_cycles_per_s == pytest.approx(0.2)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValidationError):
+            ProcessorGroup(0, 1.0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValidationError):
+            ProcessorGroup(1, 0.0)
+
+
+class TestMachine:
+    def test_flat_construction(self):
+        m = Machine(name="M", cpus=128, clock_ghz=1.5)
+        assert m.cpus == 128
+        assert m.clock_ghz == 1.5
+        assert len(m.groups) == 1
+
+    def test_heterogeneous_effective_clock(self):
+        # Ross: 256 @ 533 MHz + 1180 @ 600 MHz -> 0.588 GHz effective.
+        m = Machine(
+            name="Ross-like",
+            groups=(ProcessorGroup(256, 0.533), ProcessorGroup(1180, 0.600)),
+        )
+        assert m.cpus == 1436
+        assert m.clock_ghz == pytest.approx(0.588, abs=0.001)
+
+    def test_capacity_preserved_by_heterogeneity(self):
+        groups = (ProcessorGroup(256, 0.533), ProcessorGroup(1180, 0.600))
+        m = Machine(name="R", groups=groups)
+        assert m.tera_cycles_per_s == pytest.approx(
+            sum(g.tera_cycles_per_s for g in groups)
+        )
+
+    def test_requires_some_spec(self):
+        with pytest.raises(ValidationError):
+            Machine(name="empty")
+
+    def test_rejects_inconsistent_cpus(self):
+        with pytest.raises(ValidationError):
+            Machine(name="bad", cpus=5, groups=(ProcessorGroup(4, 1.0),))
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValidationError):
+            Machine(name="bad", groups=())
+
+    def test_fits(self):
+        m = Machine(name="M", cpus=16, clock_ghz=1.0)
+        assert m.fits(16)
+        assert m.fits(1)
+        assert not m.fits(17)
+        assert not m.fits(0)
+
+    def test_scaled_shrinks_cpus_not_clock(self):
+        m = Machine(name="M", cpus=1000, clock_ghz=0.5)
+        half = m.scaled(0.5)
+        assert half.cpus == 500
+        assert half.clock_ghz == 0.5
+
+    def test_scaled_keeps_group_structure(self):
+        m = Machine(
+            name="R",
+            groups=(ProcessorGroup(200, 0.5), ProcessorGroup(1000, 0.6)),
+        )
+        scaled = m.scaled(0.1)
+        assert len(scaled.groups) == 2
+        assert scaled.groups[0].count == 20
+        assert scaled.groups[1].count == 100
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Machine(name="M", cpus=4, clock_ghz=1.0).scaled(0.0)

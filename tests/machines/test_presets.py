@@ -1,0 +1,77 @@
+"""Tests for the ASCI machine presets against Table 1."""
+
+import pytest
+
+from repro.machines import blue_mountain, blue_pacific, preset, preset_names, ross
+from repro.machines.presets import targets
+
+
+class TestTable1Values:
+    def test_ross(self):
+        m = ross()
+        assert m.cpus == 1436
+        assert m.clock_ghz == pytest.approx(0.588, abs=0.001)
+        assert m.tera_cycles_per_s == pytest.approx(0.844, abs=0.002)
+        assert m.queue_algorithm == "PBS"
+        assert m.site == "Sandia"
+
+    def test_ross_heterogeneous_inventory(self):
+        m = ross()
+        assert [(g.count, g.clock_ghz) for g in m.groups] == [
+            (256, 0.533),
+            (1180, 0.600),
+        ]
+
+    def test_blue_mountain(self):
+        m = blue_mountain()
+        assert m.cpus == 4662
+        assert m.clock_ghz == 0.262
+        assert m.tera_cycles_per_s == pytest.approx(1.221, abs=0.001)
+        assert m.queue_algorithm == "LSF"
+
+    def test_blue_pacific(self):
+        m = blue_pacific()
+        assert m.cpus == 926
+        assert m.clock_ghz == 0.369
+        assert m.tera_cycles_per_s == pytest.approx(0.342, abs=0.001)
+        assert m.queue_algorithm == "DPCS"
+
+
+class TestRegistry:
+    def test_preset_names(self):
+        assert set(preset_names()) == {
+            "ross", "blue_mountain", "blue_pacific",
+        }
+
+    def test_preset_lookup(self):
+        assert preset("ross").name == "Ross"
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("asci_white")
+
+    def test_unknown_targets(self):
+        with pytest.raises(KeyError):
+            targets("asci_white")
+
+
+class TestWorkloadTargets:
+    @pytest.mark.parametrize(
+        "name,utilization,jobs,days",
+        [
+            ("ross", 0.631, 4423, 40.7),
+            ("blue_mountain", 0.790, 7763, 84.2),
+            ("blue_pacific", 0.907, 12761, 63.0),
+        ],
+    )
+    def test_table1_targets(self, name, utilization, jobs, days):
+        t = targets(name)
+        assert t.utilization == utilization
+        assert t.n_jobs == jobs
+        assert t.duration_s == pytest.approx(days * 86400.0)
+
+    def test_blue_mountain_medians_from_paper(self):
+        # Paper §4.3.1: median estimate 6 h vs median actual 0.8 h.
+        t = targets("blue_mountain")
+        assert t.median_runtime_s == pytest.approx(0.8 * 3600)
+        assert t.median_estimate_s == pytest.approx(6 * 3600)

@@ -1,0 +1,120 @@
+"""Tests for the terminal figure renderers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.ascii_plots import (
+    hbar,
+    histogram_rows,
+    scatter,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([0.0, 0.5, 1.0])) == 3
+
+    def test_monotone_levels(self):
+        line = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert list(line) == sorted(line, key=line.index)
+        assert line[0] != line[-1]
+
+    def test_fixed_range(self):
+        line = sparkline([0.5, 0.5], lo=0.0, hi=1.0)
+        assert len(set(line)) == 1
+
+    def test_flat_series(self):
+        line = sparkline([3.0, 3.0, 3.0])
+        assert len(line) == 3
+
+    def test_width_buckets(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+    def test_clipping(self):
+        line = sparkline([-5.0, 0.5, 5.0], lo=0.0, hi=1.0)
+        assert len(line) == 3
+
+
+class TestHbar:
+    def test_full(self):
+        assert hbar(1.0, width=10) == "#" * 10
+
+    def test_empty(self):
+        assert hbar(0.0, width=10) == "." * 10
+
+    def test_half(self):
+        bar = hbar(0.5, width=10)
+        assert bar.count("#") == 5
+
+    def test_clips(self):
+        assert hbar(2.0, width=4) == "####"
+        assert hbar(-1.0, width=4) == "...."
+
+    def test_width_validation(self):
+        with pytest.raises(ValidationError):
+            hbar(0.5, width=0)
+
+
+class TestHistogramRows:
+    def test_aligned_labels(self):
+        rows = histogram_rows(["a", "long-label"], [0.2, 0.8])
+        assert rows[0].index("|") == rows[1].index("|")
+
+    def test_normalized_to_peak(self):
+        rows = histogram_rows(["x", "y"], [0.4, 0.8], width=10)
+        assert rows[1].count("#") == 10
+        assert rows[0].count("#") == 5
+
+    def test_empty(self):
+        assert histogram_rows([], []) == []
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram_rows(["a"], [1.0, 2.0])
+
+    def test_all_zero_bins(self):
+        rows = histogram_rows(["a"], [0.0])
+        assert "#" not in rows[0]
+
+
+class TestScatter:
+    def test_grid_shape(self):
+        lines = scatter([(1.0, 1.0), (2.0, 3.0)], rows=5, cols=20)
+        assert len(lines) == 5
+        assert all(len(line) == 20 for line in lines)
+
+    def test_markers_present(self):
+        lines = scatter([(1.0, 1.0)], rows=5, cols=20)
+        assert any("o" in line for line in lines)
+
+    def test_diagonal_drawn(self):
+        lines = scatter([(1.0, 1.0)], rows=8, cols=20)
+        assert any("/" in line for line in lines)
+
+    def test_no_diagonal(self):
+        lines = scatter([(1.0, 2.0)], rows=8, cols=20, diagonal=False)
+        assert not any("/" in line for line in lines)
+
+    def test_empty_points(self):
+        assert scatter([]) == []
+
+    def test_point_above_diagonal_is_higher(self):
+        """A y >> x point lands in a higher row than a y == x point."""
+        lines = scatter(
+            [(5.0, 10.0), (10.0, 10.0)], rows=10, cols=20,
+            diagonal=False,
+        )
+        first_marker_row = min(
+            i for i, line in enumerate(lines) if "o" in line
+        )
+        assert first_marker_row < 5  # upper half of the grid
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            scatter([(1.0, 1.0)], rows=1, cols=10)

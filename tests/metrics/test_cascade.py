@@ -1,0 +1,95 @@
+"""Tests for delay-cascade analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.cascade import cascade_report, extra_waits
+
+from tests.conftest import make_job
+
+
+def pair(job_id_pairs):
+    """Build matched baseline/loaded job lists from
+    (baseline_start, loaded_start) pairs."""
+    baseline, loaded = [], []
+    for base_start, load_start in job_id_pairs:
+        job = make_job()
+        job.start_time = base_start
+        baseline.append(job)
+        twin = job.copy_unscheduled()
+        twin.start_time = load_start
+        loaded.append(twin)
+    return baseline, loaded
+
+
+class TestExtraWaits:
+    def test_matched_by_id(self):
+        baseline, loaded = pair([(0.0, 100.0), (50.0, 50.0)])
+        deltas = extra_waits(baseline, loaded)
+        assert sorted(deltas) == [0.0, 100.0]
+
+    def test_negative_deltas_kept(self):
+        baseline, loaded = pair([(100.0, 0.0)])
+        assert extra_waits(baseline, loaded)[0] == -100.0
+
+    def test_no_common_jobs(self):
+        a = make_job()
+        a.start_time = 0.0
+        b = make_job()
+        b.start_time = 0.0
+        with pytest.raises(ValidationError):
+            extra_waits([a], [b])
+
+    def test_unstarted_ignored(self):
+        baseline, loaded = pair([(0.0, 10.0)])
+        baseline.append(make_job())  # never started
+        deltas = extra_waits(baseline, loaded)
+        assert deltas.size == 1
+
+
+class TestCascadeReport:
+    def test_classification(self):
+        # Bound 100 s: one undelayed, one direct (50), one cascade (500).
+        baseline, loaded = pair(
+            [(0.0, 0.0), (0.0, 50.0), (0.0, 500.0)]
+        )
+        report = cascade_report(baseline, loaded, 100.0)
+        assert report.n_jobs == 3
+        assert report.n_direct == 1
+        assert report.n_cascade == 1
+        assert report.cascade_fraction == pytest.approx(1 / 3)
+
+    def test_cascade_share(self):
+        baseline, loaded = pair([(0.0, 50.0), (0.0, 950.0)])
+        report = cascade_report(baseline, loaded, 100.0)
+        assert report.cascade_share_of_extra_wait == pytest.approx(0.95)
+
+    def test_no_delays(self):
+        baseline, loaded = pair([(0.0, 0.0), (5.0, 5.0)])
+        report = cascade_report(baseline, loaded, 100.0)
+        assert report.n_direct == 0
+        assert report.n_cascade == 0
+        assert report.cascade_share_of_extra_wait == 0.0
+
+    def test_epsilon_filters_noise(self):
+        baseline, loaded = pair([(0.0, 0.5)])
+        report = cascade_report(baseline, loaded, 100.0)
+        assert report.n_direct == 0
+
+    def test_mean_ignores_speedups(self):
+        # One job 100 s later, one 100 s earlier: mean extra wait uses
+        # max(delta, 0) so redistribution doesn't cancel out damage.
+        baseline, loaded = pair([(0.0, 100.0), (100.0, 0.0)])
+        report = cascade_report(baseline, loaded, 1000.0)
+        assert report.mean_extra_wait_s == pytest.approx(50.0)
+
+    def test_validation(self):
+        baseline, loaded = pair([(0.0, 0.0)])
+        with pytest.raises(ValidationError):
+            cascade_report(baseline, loaded, 0.0)
+
+    def test_describe(self):
+        baseline, loaded = pair([(0.0, 500.0)])
+        text = cascade_report(baseline, loaded, 100.0).describe()
+        assert "cascade" in text

@@ -1,0 +1,72 @@
+"""Tests for wait histograms and CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.metrics.histograms import (
+    LOG10_WAIT_BINS,
+    cdf,
+    log10_wait_histogram,
+    survival,
+)
+
+
+class TestLog10Histogram:
+    def test_paper_bins(self):
+        assert LOG10_WAIT_BINS == (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+
+    def test_zero_wait_lands_in_first_bin(self):
+        hist = log10_wait_histogram([0.0, 0.5])
+        assert hist[0] == 1.0
+
+    def test_binning(self):
+        # 5 s -> [0,1); 50 s -> [1,2); 5000 s -> [3,4).
+        hist = log10_wait_histogram([5.0, 50.0, 5000.0], normalize=False)
+        assert hist[0] == 1
+        assert hist[1] == 1
+        assert hist[3] == 1
+
+    def test_huge_waits_clamped_to_last_bin(self):
+        hist = log10_wait_histogram([1e9], normalize=False)
+        assert hist[-1] == 1
+
+    def test_normalized_sums_to_one(self):
+        hist = log10_wait_histogram([1.0, 10.0, 100.0, 1e7])
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_empty_gives_zeros(self):
+        assert log10_wait_histogram([]).sum() == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            log10_wait_histogram([-1.0])
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(ValidationError):
+            log10_wait_histogram([1.0], bins=[0.0])
+
+    @given(
+        waits=st.lists(st.floats(0.0, 1e8), min_size=1, max_size=100)
+    )
+    def test_property_mass_conserved(self, waits):
+        hist = log10_wait_histogram(waits, normalize=False)
+        assert hist.sum() == len(waits)
+
+
+class TestCdf:
+    def test_values_sorted_probs_increasing(self):
+        xs, ps = cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            cdf([])
+
+    def test_survival_complements_cdf(self):
+        xs, surv = survival([1.0, 2.0, 3.0, 4.0])
+        _, ps = cdf([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(surv, 1.0 - ps)

@@ -1,0 +1,36 @@
+"""Tests for makespan statistics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.makespan import makespan_stats
+
+
+class TestMakespanStats:
+    def test_summary(self):
+        stats = makespan_stats([3600.0, 7200.0])
+        assert stats.n_samples == 2
+        assert stats.mean_s == 5400.0
+        assert stats.mean_h == 1.5
+        assert stats.min_s == 3600.0
+        assert stats.max_s == 7200.0
+
+    def test_single_sample_zero_std(self):
+        stats = makespan_stats([100.0])
+        assert stats.std_s == 0.0
+
+    def test_std_uses_sample_variance(self):
+        stats = makespan_stats([0.0, 2.0])
+        assert stats.std_s == pytest.approx(2.0 ** 0.5)
+
+    def test_cell_format(self):
+        stats = makespan_stats([3600.0 * 12.3, 3600.0 * 12.3])
+        assert stats.cell() == "12.3 ± 0.0"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            makespan_stats([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            makespan_stats([-1.0])

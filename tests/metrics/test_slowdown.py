@@ -1,0 +1,88 @@
+"""Tests for bounded slowdown and per-user impact metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.slowdown import (
+    bounded_slowdowns,
+    impact_concentration,
+    per_user_impact,
+)
+
+from tests.conftest import make_job
+
+
+def started(cpus=1, runtime=100.0, wait=0.0, user="u0"):
+    job = make_job(cpus=cpus, runtime=runtime, user=user)
+    job.start_time = wait
+    job.finish_time = wait + runtime
+    return job
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_is_one(self):
+        assert bounded_slowdowns([started()])[0] == 1.0
+
+    def test_formula(self):
+        # wait 100, runtime 100 -> (100+100)/100 = 2.
+        assert bounded_slowdowns([started(wait=100.0)])[0] == 2.0
+
+    def test_tau_bounds_short_jobs(self):
+        # 1 s job waiting 100 s: plain slowdown 101, bounded uses tau=10.
+        job = started(runtime=1.0, wait=100.0)
+        assert bounded_slowdowns([job])[0] == pytest.approx(101.0 / 10.0)
+
+    def test_skips_unstarted(self):
+        assert bounded_slowdowns([make_job()]).size == 0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValidationError):
+            bounded_slowdowns([started()], tau_s=0.0)
+
+
+class TestPerUserImpact:
+    def test_groups_by_user(self):
+        jobs = [
+            started(wait=0.0, user="a"),
+            started(wait=100.0, user="a"),
+            started(wait=50.0, user="b"),
+        ]
+        impact = per_user_impact(jobs)
+        assert impact["a"].n_jobs == 2
+        assert impact["a"].mean_wait_s == 50.0
+        assert impact["b"].median_wait_s == 50.0
+
+    def test_empty(self):
+        assert per_user_impact([]) == {}
+
+
+class TestImpactConcentration:
+    def test_single_victim_is_one(self):
+        baseline = [started(user="a"), started(user="b")]
+        loaded = [started(wait=1000.0, user="a"), started(user="b")]
+        assert impact_concentration(baseline, loaded) == 1.0
+
+    def test_even_spread(self):
+        baseline = [started(user="a"), started(user="b")]
+        loaded = [
+            started(wait=500.0, user="a"),
+            started(wait=500.0, user="b"),
+        ]
+        assert impact_concentration(baseline, loaded) == pytest.approx(0.5)
+
+    def test_no_damage_is_zero(self):
+        baseline = [started(user="a")]
+        loaded = [started(user="a")]
+        assert impact_concentration(baseline, loaded) == 0.0
+
+    def test_improvements_ignored(self):
+        baseline = [started(wait=100.0, user="a"), started(user="b")]
+        loaded = [started(wait=0.0, user="a"), started(wait=10.0, user="b")]
+        # a improved; all the (positive) damage is b's.
+        assert impact_concentration(baseline, loaded) == 1.0
+
+    def test_disjoint_users_zero(self):
+        baseline = [started(user="a")]
+        loaded = [started(wait=100.0, user="b")]
+        assert impact_concentration(baseline, loaded) == 0.0

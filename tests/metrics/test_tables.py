@@ -1,0 +1,33 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.metrics.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", "1"], ["long-name", "22"]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows have equal width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_cells_stringified(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

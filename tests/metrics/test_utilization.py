@@ -1,0 +1,75 @@
+"""Tests for utilization metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.jobs import JobKind
+from repro.metrics.utilization import hourly_utilization, utilization_summary
+from repro.sim.engine import Engine, SimConfig
+
+from tests.conftest import fcfs, make_job
+
+
+@pytest.fixture
+def result(tiny_machine):
+    # 8 CPUs busy [0, 3600); idle [3600, 7200).
+    job = make_job(cpus=8, runtime=3600.0)
+    return Engine(
+        tiny_machine, fcfs(), trace=[job], config=SimConfig(horizon=7200.0)
+    ).run()
+
+
+class TestHourly:
+    def test_two_bins(self, result):
+        starts, utils = hourly_utilization(result)
+        assert starts.size == 2
+        assert utils[0] == pytest.approx(1.0)
+        assert utils[1] == pytest.approx(0.0)
+
+    def test_partial_bin_weighting(self, tiny_machine):
+        job = make_job(cpus=8, runtime=1800.0)
+        res = Engine(
+            tiny_machine, fcfs(), trace=[job],
+            config=SimConfig(horizon=3600.0),
+        ).run()
+        _, utils = hourly_utilization(res)
+        assert utils[0] == pytest.approx(0.5)
+
+    def test_kind_filter(self, tiny_machine):
+        native = make_job(cpus=4, runtime=3600.0)
+        inter = make_job(cpus=4, runtime=3600.0,
+                         kind=JobKind.INTERSTITIAL)
+        res = Engine(
+            tiny_machine, fcfs(), trace=[native, inter],
+            config=SimConfig(horizon=3600.0),
+        ).run()
+        _, native_u = hourly_utilization(res, JobKind.NATIVE)
+        _, all_u = hourly_utilization(res)
+        assert native_u[0] == pytest.approx(0.5)
+        assert all_u[0] == pytest.approx(1.0)
+
+    def test_validation(self, result):
+        with pytest.raises(ValidationError):
+            hourly_utilization(result, bin_s=0.0)
+        with pytest.raises(ValidationError):
+            hourly_utilization(result, t0=10.0, t1=10.0)
+
+
+class TestSummary:
+    def test_splits_by_kind(self, tiny_machine):
+        native = make_job(cpus=4, runtime=3600.0)
+        inter = make_job(cpus=2, runtime=3600.0,
+                         kind=JobKind.INTERSTITIAL)
+        res = Engine(
+            tiny_machine, fcfs(), trace=[native, inter],
+            config=SimConfig(horizon=3600.0),
+        ).run()
+        summary = utilization_summary(res)
+        assert summary.native == pytest.approx(0.5)
+        assert summary.interstitial == pytest.approx(0.25)
+        assert summary.overall == pytest.approx(0.75)
+
+    def test_describe(self, result):
+        text = utilization_summary(result).describe()
+        assert "overall" in text

@@ -1,0 +1,99 @@
+"""Tests for wait-time statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.waits import (
+    expansion_factors,
+    largest_fraction,
+    wait_stats,
+    wait_times,
+)
+
+from tests.conftest import make_job
+
+
+def started_job(cpus=1, runtime=100.0, submit=0.0, start=0.0):
+    job = make_job(cpus=cpus, runtime=runtime, submit=submit)
+    job.start_time = start
+    job.finish_time = start + runtime
+    return job
+
+
+class TestWaitTimes:
+    def test_basic(self):
+        jobs = [started_job(start=10.0), started_job(start=0.0)]
+        waits = wait_times(jobs)
+        assert sorted(waits) == [0.0, 10.0]
+
+    def test_skips_unstarted(self):
+        jobs = [started_job(start=5.0), make_job()]
+        assert wait_times(jobs).size == 1
+
+    def test_empty(self):
+        assert wait_times([]).size == 0
+
+
+class TestExpansionFactors:
+    def test_formula(self):
+        job = started_job(runtime=100.0, start=50.0)
+        assert expansion_factors([job])[0] == 1.5
+
+    def test_no_wait_is_one(self):
+        assert expansion_factors([started_job()])[0] == 1.0
+
+
+class TestLargestFraction:
+    def test_selects_by_area(self):
+        small = started_job(cpus=1, runtime=10.0)
+        big = started_job(cpus=100, runtime=1000.0)
+        medium = started_job(cpus=10, runtime=100.0)
+        jobs = [small, big, medium] * 10
+        top = largest_fraction(jobs, 0.05)
+        assert all(j.area == big.area for j in top)
+
+    def test_at_least_one(self):
+        jobs = [started_job(cpus=i + 1) for i in range(3)]
+        assert len(largest_fraction(jobs, 0.01)) == 1
+
+    def test_count_proportional(self):
+        jobs = [started_job(cpus=i + 1) for i in range(100)]
+        assert len(largest_fraction(jobs, 0.05)) == 5
+
+    def test_empty(self):
+        assert largest_fraction([], 0.05) == []
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            largest_fraction([started_job()], 0.0)
+        with pytest.raises(ValidationError):
+            largest_fraction([started_job()], 1.5)
+
+    def test_deterministic_ties(self):
+        jobs = [started_job(cpus=2, runtime=10.0) for _ in range(10)]
+        a = largest_fraction(jobs, 0.2)
+        b = largest_fraction(list(reversed(jobs)), 0.2)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+
+
+class TestWaitStats:
+    def test_summary(self):
+        jobs = [
+            started_job(runtime=100.0, start=0.0),
+            started_job(runtime=100.0, start=100.0),
+            started_job(runtime=100.0, start=200.0),
+        ]
+        stats = wait_stats(jobs)
+        assert stats.n_jobs == 3
+        assert stats.median_wait_s == 100.0
+        assert stats.mean_wait_s == 100.0
+        assert stats.median_ef == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            wait_stats([])
+
+    def test_describe(self):
+        stats = wait_stats([started_job(start=10.0)])
+        assert "wait" in stats.describe()

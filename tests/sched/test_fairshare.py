@@ -1,0 +1,134 @@
+"""Tests for decayed-usage fair-share accounting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sched.fairshare import FairShareTracker
+
+
+class TestValidation:
+    def test_rejects_nonpositive_half_life(self):
+        with pytest.raises(ConfigurationError):
+            FairShareTracker(half_life_s=0.0)
+
+    def test_rejects_negative_shares(self):
+        with pytest.raises(ConfigurationError):
+            FairShareTracker(shares={"a": -1.0})
+
+    def test_rejects_negative_charge(self):
+        tracker = FairShareTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.charge("a", -5.0, 0.0)
+
+
+class TestUsage:
+    def test_charge_and_read(self):
+        tracker = FairShareTracker()
+        tracker.charge("alice", 100.0, 0.0)
+        assert tracker.usage("alice", 0.0) == 100.0
+
+    def test_unknown_entity_zero(self):
+        assert FairShareTracker().usage("ghost", 0.0) == 0.0
+
+    def test_decay_half_life(self):
+        tracker = FairShareTracker(half_life_s=100.0)
+        tracker.charge("alice", 80.0, 0.0)
+        assert tracker.usage("alice", 100.0) == pytest.approx(40.0)
+        assert tracker.usage("alice", 200.0) == pytest.approx(20.0)
+
+    def test_charges_accumulate_with_decay(self):
+        tracker = FairShareTracker(half_life_s=100.0)
+        tracker.charge("alice", 80.0, 0.0)
+        tracker.charge("alice", 10.0, 100.0)
+        assert tracker.usage("alice", 100.0) == pytest.approx(50.0)
+
+    def test_usage_share(self):
+        tracker = FairShareTracker()
+        tracker.charge("a", 30.0, 0.0)
+        tracker.charge("b", 10.0, 0.0)
+        assert tracker.usage_share("a", 0.0) == pytest.approx(0.75)
+        assert tracker.usage_share("b", 0.0) == pytest.approx(0.25)
+
+    def test_usage_share_no_usage(self):
+        assert FairShareTracker().usage_share("a", 0.0) == 0.0
+
+
+class TestTargetShares:
+    def test_equal_shares_default(self):
+        tracker = FairShareTracker()
+        tracker.charge("a", 1.0, 0.0)
+        tracker.charge("b", 1.0, 0.0)
+        assert tracker.target_share("a") == pytest.approx(0.5)
+
+    def test_explicit_shares(self):
+        tracker = FairShareTracker(shares={"big": 3.0, "small": 1.0})
+        assert tracker.target_share("big") == pytest.approx(0.75)
+        assert tracker.target_share("small") == pytest.approx(0.25)
+
+    def test_newcomer_share(self):
+        tracker = FairShareTracker()
+        tracker.charge("a", 1.0, 0.0)
+        # A never-seen entity counts as one share against the population.
+        assert tracker.target_share("new") == pytest.approx(0.5)
+
+
+class TestFactor:
+    def test_underserved_positive(self):
+        tracker = FairShareTracker()
+        tracker.charge("hog", 100.0, 0.0)
+        tracker.charge("idle", 0.0, 0.0)
+        assert tracker.factor("idle", 0.0) > 0
+        assert tracker.factor("hog", 0.0) < 0
+
+    def test_factor_bounded(self):
+        tracker = FairShareTracker()
+        tracker.charge("a", 1e9, 0.0)
+        tracker.charge("b", 0.0, 0.0)
+        assert -1.0 <= tracker.factor("a", 0.0) <= 1.0
+        assert -1.0 <= tracker.factor("b", 0.0) <= 1.0
+
+    def test_decay_privileges_recent_usage(self):
+        # Equal lifetime usage, but hog's is old: decay makes the
+        # recent user look like the over-consumer.
+        tracker = FairShareTracker(half_life_s=100.0)
+        tracker.charge("hog", 1000.0, 0.0)
+        tracker.charge("recent", 1000.0, 500.0)
+        assert tracker.usage_share("hog", 500.0) < 0.5
+        assert tracker.factor("hog", 500.0) > tracker.factor("recent", 500.0)
+
+
+@given(
+    charges=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(0.0, 1e6),
+            st.floats(0.0, 1e6),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    probe=st.floats(0.0, 2e6),
+)
+def test_property_shares_sum_to_one(charges, probe):
+    """Usage shares over charged entities always sum to 1 (or all 0)."""
+    tracker = FairShareTracker()
+    t = 0.0
+    for entity, amount, dt in sorted(charges, key=lambda c: c[2]):
+        t = dt
+        tracker.charge(entity, amount, t)
+    t_read = max(t, probe)
+    total_share = sum(
+        tracker.usage_share(e, t_read) for e in tracker.entities()
+    )
+    assert total_share == pytest.approx(1.0) or total_share == 0.0
+
+
+@given(amount=st.floats(0.0, 1e9), dt=st.floats(0.0, 1e7))
+def test_property_decay_monotone(amount, dt):
+    tracker = FairShareTracker(half_life_s=3600.0)
+    tracker.charge("a", amount, 0.0)
+    assert tracker.usage("a", dt) <= amount + 1e-9

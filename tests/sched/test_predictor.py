@@ -1,0 +1,69 @@
+"""Tests for the per-user runtime predictor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.predictor import PerUserRuntimePredictor
+
+from tests.conftest import make_job
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            PerUserRuntimePredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            PerUserRuntimePredictor(alpha=1.5)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            PerUserRuntimePredictor(floor_ratio=0.0)
+
+
+class TestLearning:
+    def test_unknown_user_passthrough(self):
+        predictor = PerUserRuntimePredictor()
+        job = make_job(runtime=100.0, estimate=1000.0)
+        assert predictor.estimate(job) == 1000.0
+
+    def test_learns_overestimation_ratio(self):
+        predictor = PerUserRuntimePredictor()
+        done = make_job(runtime=100.0, estimate=1000.0, user="alice")
+        done.start_time = 0.0
+        predictor.observe(done)
+        assert predictor.ratio("alice") == pytest.approx(0.1)
+        queued = make_job(runtime=50.0, estimate=1000.0, user="alice")
+        assert predictor.estimate(queued) == pytest.approx(100.0)
+
+    def test_ewma_blends(self):
+        predictor = PerUserRuntimePredictor(alpha=0.5)
+        first = make_job(runtime=100.0, estimate=1000.0, user="a")
+        second = make_job(runtime=500.0, estimate=1000.0, user="a")
+        predictor.observe(first)
+        predictor.observe(second)
+        assert predictor.ratio("a") == pytest.approx(0.5 * 0.5 + 0.5 * 0.1)
+
+    def test_floor_clamps_instant_jobs(self):
+        predictor = PerUserRuntimePredictor(floor_ratio=0.05)
+        flash = make_job(runtime=0.0, estimate=1000.0, user="a")
+        predictor.observe(flash)
+        assert predictor.ratio("a") == 0.05
+
+    def test_never_exceeds_user_estimate(self):
+        predictor = PerUserRuntimePredictor()
+        honest = make_job(runtime=100.0, estimate=100.0, user="a")
+        predictor.observe(honest)
+        queued = make_job(runtime=50.0, estimate=80.0, user="a")
+        assert predictor.estimate(queued) <= 80.0
+
+    def test_ignores_zero_estimate_jobs(self):
+        predictor = PerUserRuntimePredictor()
+        weird = make_job(runtime=0.0, estimate=0.0, user="a")
+        predictor.observe(weird)
+        assert predictor.ratio("a") == 1.0
+
+    def test_per_user_isolation(self):
+        predictor = PerUserRuntimePredictor()
+        done = make_job(runtime=10.0, estimate=1000.0, user="alice")
+        predictor.observe(done)
+        assert predictor.ratio("bob") == 1.0

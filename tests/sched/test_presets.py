@@ -1,0 +1,66 @@
+"""Tests for the per-machine scheduler presets."""
+
+from repro.machines import blue_mountain, blue_pacific, ross, Machine
+from repro.sched import (
+    dpcs_scheduler,
+    fcfs_scheduler,
+    lsf_scheduler,
+    pbs_scheduler,
+    scheduler_for,
+)
+from repro.sched.priority import (
+    FcfsPolicy,
+    HierarchicalFairSharePolicy,
+    UserFairSharePolicy,
+    UserGroupFairSharePolicy,
+)
+from repro.sched.queue_scheduler import BackfillMode
+
+
+class TestPresetComposition:
+    def test_pbs_equal_share_conservative(self):
+        s = pbs_scheduler()
+        assert isinstance(s.policy, UserFairSharePolicy)
+        assert s.backfill is BackfillMode.CONSERVATIVE
+        assert s.timeofday is None
+
+    def test_lsf_hierarchical_easy(self):
+        s = lsf_scheduler()
+        assert isinstance(s.policy, HierarchicalFairSharePolicy)
+        assert s.backfill is BackfillMode.EASY
+
+    def test_dpcs_usergroup_timeofday(self):
+        machine = blue_pacific()
+        s = dpcs_scheduler(machine)
+        assert isinstance(s.policy, UserGroupFairSharePolicy)
+        assert s.backfill is BackfillMode.EASY
+        assert s.timeofday is not None
+        assert s.timeofday.max_day_cpus == machine.cpus // 4
+
+    def test_fcfs_baseline(self):
+        s = fcfs_scheduler()
+        assert isinstance(s.policy, FcfsPolicy)
+
+
+class TestSchedulerFor:
+    def test_matches_table1_queue_algorithms(self):
+        assert isinstance(
+            scheduler_for(ross()).policy, UserFairSharePolicy
+        )
+        assert isinstance(
+            scheduler_for(blue_mountain()).policy,
+            HierarchicalFairSharePolicy,
+        )
+        assert isinstance(
+            scheduler_for(blue_pacific()).policy,
+            UserGroupFairSharePolicy,
+        )
+
+    def test_unknown_system_falls_back_to_fcfs(self):
+        odd = Machine(name="X", cpus=4, clock_ghz=1.0,
+                      queue_algorithm="SLURM")
+        assert isinstance(scheduler_for(odd).policy, FcfsPolicy)
+
+    def test_fresh_instances(self):
+        # Scheduler instances hold queue state and must not be shared.
+        assert scheduler_for(ross()) is not scheduler_for(ross())

@@ -1,0 +1,90 @@
+"""Tests for the time-of-day dispatch policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.timeofday import TimeOfDayPolicy
+from repro.units import DAY, HOUR
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def policy():
+    return TimeOfDayPolicy(max_day_cpus=100)
+
+
+class TestClock:
+    def test_hour_of_day(self, policy):
+        assert policy.hour_of_day(0.0) == 0.0
+        assert policy.hour_of_day(13 * HOUR) == 13.0
+        assert policy.hour_of_day(DAY + 2 * HOUR) == 2.0
+
+    def test_day_of_week_starts_monday(self, policy):
+        assert policy.day_of_week(0.0) == 0
+        assert policy.day_of_week(5 * DAY) == 5  # Saturday
+        assert policy.day_of_week(7 * DAY) == 0  # next Monday
+
+    def test_is_daytime_weekday(self, policy):
+        monday_noon = 12 * HOUR
+        monday_night = 22 * HOUR
+        assert policy.is_daytime(monday_noon)
+        assert not policy.is_daytime(monday_night)
+
+    def test_weekend_is_free(self, policy):
+        saturday_noon = 5 * DAY + 12 * HOUR
+        assert not policy.is_daytime(saturday_noon)
+
+    def test_weekend_constrained_when_configured(self):
+        policy = TimeOfDayPolicy(max_day_cpus=100, weekends_free=False)
+        saturday_noon = 5 * DAY + 12 * HOUR
+        assert policy.is_daytime(saturday_noon)
+
+
+class TestEligibility:
+    def test_narrow_jobs_always_eligible(self, policy):
+        job = make_job(cpus=100)
+        assert policy.eligible(job, 12 * HOUR)
+
+    def test_wide_jobs_held_during_day(self, policy):
+        job = make_job(cpus=101)
+        assert not policy.eligible(job, 12 * HOUR)
+        assert policy.eligible(job, 20 * HOUR)
+
+    def test_wide_jobs_free_on_weekend(self, policy):
+        job = make_job(cpus=500)
+        assert policy.eligible(job, 5 * DAY + 12 * HOUR)
+
+
+class TestNextEligible:
+    def test_already_eligible(self, policy):
+        job = make_job(cpus=50)
+        assert policy.next_eligible_time(job, 12 * HOUR) == 12 * HOUR
+
+    def test_wide_job_waits_until_evening(self, policy):
+        job = make_job(cpus=500)
+        t = 12 * HOUR  # Monday noon
+        assert policy.next_eligible_time(job, t) == 19 * HOUR
+
+    def test_wide_job_morning_submission(self, policy):
+        job = make_job(cpus=500)
+        t = 8 * HOUR
+        assert policy.next_eligible_time(job, t) == 19 * HOUR
+
+
+class TestValidation:
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfDayPolicy(max_day_cpus=-1)
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfDayPolicy(max_day_cpus=1, day_start_hour=20.0,
+                            day_end_hour=8.0)
+
+    def test_rejects_out_of_range_hours(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfDayPolicy(max_day_cpus=1, day_start_hour=-1.0)
+        with pytest.raises(ConfigurationError):
+            TimeOfDayPolicy(max_day_cpus=1, day_end_hour=24.0,
+                            day_start_hour=25.0)

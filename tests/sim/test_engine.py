@@ -1,0 +1,219 @@
+"""Tests for the discrete-event engine with an FCFS scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.jobs import JobState
+from repro.machines import Machine
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.outages import Outage, OutageSchedule
+
+from tests.conftest import fcfs, fcfs_plain, make_job, random_native_trace
+
+
+def run_fcfs(machine, jobs, **kwargs):
+    return Engine(machine, fcfs(), trace=jobs, **kwargs).run()
+
+
+class TestBasicScheduling:
+    def test_single_job(self, tiny_machine):
+        job = make_job(cpus=4, runtime=100.0, submit=10.0)
+        result = run_fcfs(tiny_machine, [job])
+        assert job.start_time == 10.0
+        assert job.finish_time == 110.0
+        assert job.state is JobState.FINISHED
+        assert result.end_time == 110.0
+
+    def test_parallel_jobs_share_machine(self, tiny_machine):
+        a = make_job(cpus=4, runtime=100.0)
+        b = make_job(cpus=4, runtime=100.0)
+        run_fcfs(tiny_machine, [a, b])
+        assert a.start_time == 0.0
+        assert b.start_time == 0.0
+
+    def test_serialization_when_too_wide(self, tiny_machine):
+        a = make_job(cpus=8, runtime=100.0)
+        b = make_job(cpus=8, runtime=100.0, submit=1.0)
+        run_fcfs(tiny_machine, [a, b])
+        assert a.start_time == 0.0
+        assert b.start_time == 100.0
+
+    def test_fcfs_order_by_submit(self, tiny_machine):
+        late = make_job(cpus=8, runtime=10.0, submit=5.0)
+        early = make_job(cpus=8, runtime=10.0, submit=1.0)
+        run_fcfs(tiny_machine, [late, early])
+        assert early.start_time == 1.0
+        assert late.start_time == 11.0
+
+    def test_zero_runtime_job(self, tiny_machine):
+        job = make_job(cpus=1, runtime=0.0)
+        result = run_fcfs(tiny_machine, [job])
+        assert job.finish_time == 0.0
+        assert len(result.finished) == 1
+
+    def test_rejects_too_wide_trace_job(self, tiny_machine):
+        with pytest.raises(ConfigurationError):
+            run_fcfs(tiny_machine, [make_job(cpus=9)])
+
+
+class TestBackfillBehaviour:
+    def test_easy_backfill_fills_hole(self, tiny_machine):
+        # Wide job blocks; a short narrow job fits before its shadow.
+        running = make_job(cpus=6, runtime=100.0, estimate=100.0)
+        wide = make_job(cpus=8, runtime=50.0, submit=1.0)
+        narrow = make_job(cpus=2, runtime=50.0, estimate=50.0, submit=2.0)
+        run_fcfs(tiny_machine, [running, wide, narrow])
+        # narrow (2 cpus, ends 52 <= shadow 100) backfills at t=2.
+        assert narrow.start_time == 2.0
+        assert wide.start_time == 100.0
+
+    def test_easy_backfill_does_not_delay_head(self, tiny_machine):
+        running = make_job(cpus=6, runtime=100.0, estimate=100.0)
+        wide = make_job(cpus=8, runtime=50.0, submit=1.0)
+        # Long narrow job would push past the shadow and must wait
+        # (2 cpus > extra 0 at shadow time).
+        long_narrow = make_job(
+            cpus=2, runtime=500.0, estimate=500.0, submit=2.0
+        )
+        run_fcfs(tiny_machine, [running, wide, long_narrow])
+        assert wide.start_time == 100.0
+        assert long_narrow.start_time >= 100.0
+
+    def test_no_backfill_mode_strictly_serial(self, tiny_machine):
+        running = make_job(cpus=6, runtime=100.0, estimate=100.0)
+        wide = make_job(cpus=8, runtime=50.0, submit=1.0)
+        narrow = make_job(cpus=2, runtime=10.0, estimate=10.0, submit=2.0)
+        Engine(
+            tiny_machine, fcfs_plain(), trace=[running, wide, narrow]
+        ).run()
+        # Without backfill, narrow waits behind the blocked wide job.
+        assert narrow.start_time >= wide.start_time
+
+    def test_bad_estimate_delays_backfill_start(self, tiny_machine):
+        # The running job grossly overestimates: the shadow is at 1000,
+        # so anything short backfills; but the head job starts when the
+        # job *actually* ends, at 100.
+        running = make_job(cpus=6, runtime=100.0, estimate=1000.0)
+        wide = make_job(cpus=8, runtime=50.0, submit=1.0)
+        run_fcfs(tiny_machine, [running, wide])
+        assert wide.start_time == 100.0
+
+
+class TestOutages:
+    def test_outage_blocks_starts(self, tiny_machine):
+        outages = OutageSchedule([Outage(0.0, 100.0, 8)])
+        job = make_job(cpus=8, runtime=10.0, submit=5.0)
+        Engine(
+            tiny_machine, fcfs(), trace=[job], outages=outages
+        ).run()
+        assert job.start_time == 100.0
+
+    def test_partial_outage_allows_narrow(self, tiny_machine):
+        outages = OutageSchedule([Outage(0.0, 100.0, 4)])
+        narrow = make_job(cpus=4, runtime=10.0, submit=5.0)
+        wide = make_job(cpus=8, runtime=10.0, submit=5.0)
+        Engine(
+            tiny_machine, fcfs(), trace=[narrow, wide], outages=outages
+        ).run()
+        assert narrow.start_time == 5.0
+        assert wide.start_time >= 100.0
+
+    def test_running_jobs_survive_outage(self, tiny_machine):
+        # Non-preemptive: an outage does not kill running work.
+        job = make_job(cpus=8, runtime=200.0)
+        outages = OutageSchedule([Outage(10.0, 50.0, 8)])
+        result = Engine(
+            tiny_machine, fcfs(), trace=[job], outages=outages
+        ).run()
+        assert job.finish_time == 200.0
+        assert len(result.finished) == 1
+
+    def test_rejects_oversized_outage(self, tiny_machine):
+        with pytest.raises(ConfigurationError):
+            Engine(
+                tiny_machine,
+                fcfs(),
+                outages=OutageSchedule([Outage(0.0, 1.0, 9)]),
+            )
+
+
+class TestUntil:
+    def test_truncation_reports_unfinished(self, tiny_machine):
+        a = make_job(cpus=8, runtime=100.0)
+        b = make_job(cpus=8, runtime=100.0, submit=1.0)
+        result = Engine(
+            tiny_machine,
+            fcfs(),
+            trace=[a, b],
+            config=SimConfig(until=50.0),
+        ).run()
+        assert len(result.finished) == 0
+        assert len(result.unfinished) == 2
+
+
+class TestWake:
+    def test_wake_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(wake_interval=0.0)
+
+    def test_wake_events_terminate(self, tiny_machine):
+        job = make_job(cpus=1, runtime=10.0, submit=100.0)
+        result = Engine(
+            tiny_machine,
+            fcfs(),
+            trace=[job],
+            config=SimConfig(wake_interval=7.0),
+        ).run()
+        assert len(result.finished) == 1
+
+
+class TestConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_job_finishes_exactly_once(self, seed):
+        rng = np.random.default_rng(seed)
+        machine = Machine(name="P", cpus=32, clock_ghz=1.0)
+        jobs = random_native_trace(rng, machine, n_jobs=30)
+        result = Engine(machine, fcfs(), trace=jobs).run()
+        assert len(result.finished) == 30
+        assert len({j.job_id for j in result.finished}) == 30
+        assert not result.unfinished
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_capacity_never_exceeded(self, seed):
+        rng = np.random.default_rng(seed)
+        machine = Machine(name="P", cpus=32, clock_ghz=1.0)
+        jobs = random_native_trace(rng, machine, n_jobs=40)
+        result = Engine(machine, fcfs(), trace=jobs).run()
+        busy = result.busy_profile()
+        assert busy.values.max() <= machine.cpus
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_no_job_starts_before_submit(self, seed):
+        rng = np.random.default_rng(seed)
+        machine = Machine(name="P", cpus=32, clock_ghz=1.0)
+        jobs = random_native_trace(rng, machine, n_jobs=30)
+        result = Engine(machine, fcfs(), trace=jobs).run()
+        for job in result.finished:
+            assert job.start_time >= job.submit_time
+            assert job.finish_time == pytest.approx(
+                job.start_time + job.runtime
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_work_conservation(self, seed):
+        """Total busy CPU-time equals the sum of job areas."""
+        rng = np.random.default_rng(seed)
+        machine = Machine(name="P", cpus=32, clock_ghz=1.0)
+        jobs = random_native_trace(rng, machine, n_jobs=25)
+        expected_area = sum(j.area for j in jobs)
+        result = Engine(machine, fcfs(), trace=jobs).run()
+        busy = result.busy_profile()
+        measured = busy.integrate(0.0, result.end_time + 1.0)
+        assert measured == pytest.approx(expected_area, rel=1e-9)

@@ -1,0 +1,140 @@
+"""Additional engine behaviours: stall recovery, interstitial + outage
+interactions, and determinism guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import InterstitialController
+from repro.jobs import InterstitialProject, JobKind
+from repro.machines import Machine
+from repro.sched import QueueScheduler, TimeOfDayPolicy, fcfs_scheduler
+from repro.sched.priority import FcfsPolicy
+from repro.sim.engine import Engine, SimConfig
+from repro.sim.outages import Outage, OutageSchedule
+from repro.units import DAY, HOUR
+
+from tests.conftest import make_job, random_native_trace
+
+
+class TestStallRecovery:
+    def test_timeofday_held_job_eventually_runs(self):
+        """A held job with no future events must not strand (the stall
+        wake re-runs the scheduler until the window opens)."""
+        machine = Machine(name="M", cpus=100, clock_ghz=1.0)
+        scheduler = QueueScheduler(
+            policy=FcfsPolicy(),
+            timeofday=TimeOfDayPolicy(max_day_cpus=25),
+        )
+        wide = make_job(cpus=80, runtime=HOUR, submit=9 * HOUR)
+        result = Engine(machine, scheduler, trace=[wide]).run()
+        assert len(result.finished) == 1
+        assert result.finished[0].start_time == 19 * HOUR
+
+    def test_stall_wake_uses_configured_interval(self):
+        machine = Machine(name="M", cpus=100, clock_ghz=1.0)
+        scheduler = QueueScheduler(
+            policy=FcfsPolicy(),
+            timeofday=TimeOfDayPolicy(max_day_cpus=25),
+        )
+        wide = make_job(cpus=80, runtime=HOUR, submit=9 * HOUR)
+        result = Engine(
+            machine,
+            scheduler,
+            trace=[wide],
+            config=SimConfig(wake_interval=2 * HOUR),
+        ).run()
+        # Wakes at 11:00, 13:00, ..., 19:00 — starts exactly at 19:00
+        # because the window boundary coincides with a wake.
+        assert result.finished[0].start_time == 19 * HOUR
+
+    def test_weekend_hold_spanning_days(self):
+        machine = Machine(name="M", cpus=100, clock_ghz=1.0)
+        scheduler = QueueScheduler(
+            policy=FcfsPolicy(),
+            timeofday=TimeOfDayPolicy(
+                max_day_cpus=25, weekends_free=False
+            ),
+        )
+        # Submitted Friday 10:00; must wait until Friday 19:00 (weekend
+        # counts as constrained here, so 19:00 Friday is the next
+        # opening).
+        friday_ten = 4 * DAY + 10 * HOUR
+        wide = make_job(cpus=80, runtime=HOUR, submit=friday_ten)
+        result = Engine(machine, scheduler, trace=[wide]).run()
+        assert result.finished[0].start_time == 4 * DAY + 19 * HOUR
+
+
+class TestInterstitialOutageInteraction:
+    def test_interstitial_respects_outage(self):
+        machine = Machine(name="M", cpus=16, clock_ghz=1.0)
+        project = InterstitialProject(
+            n_jobs=1, cpus_per_job=2, runtime_1ghz=100.0
+        )
+        controller = InterstitialController(
+            machine=machine, project=project, continual=True
+        )
+        outages = OutageSchedule([Outage(0.0, 1000.0, 12)])
+        trigger = make_job(cpus=1, runtime=1.0, submit=0.0)
+        result = Engine(
+            machine,
+            fcfs_scheduler(),
+            trace=[trigger],
+            interstitial=controller,
+            outages=outages,
+            config=SimConfig(horizon=500.0),
+        ).run()
+        busy = result.busy_profile()
+        # During the outage only 4 CPUs are in service.
+        assert busy.min_over(0.0, 1000.0) >= 0
+        for t in (10.0, 500.0, 999.0):
+            assert busy.value_at(t) <= 4
+
+    def test_capacity_returns_after_outage(self):
+        machine = Machine(name="M", cpus=16, clock_ghz=1.0)
+        project = InterstitialProject(
+            n_jobs=1, cpus_per_job=2, runtime_1ghz=100.0
+        )
+        controller = InterstitialController(
+            machine=machine, project=project, continual=True
+        )
+        outages = OutageSchedule([Outage(0.0, 300.0, 12)])
+        trigger = make_job(cpus=1, runtime=1.0, submit=0.0)
+        result = Engine(
+            machine,
+            fcfs_scheduler(),
+            trace=[trigger],
+            interstitial=controller,
+            outages=outages,
+            config=SimConfig(horizon=800.0),
+        ).run()
+        busy = result.busy_profile()
+        # After the outage the continual stream refills the machine.
+        assert busy.value_at(400.0) == 16
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        machine = Machine(name="M", cpus=32, clock_ghz=1.0)
+        rng = np.random.default_rng(4242)
+        trace = random_native_trace(rng, machine, n_jobs=40)
+        project = InterstitialProject(
+            n_jobs=1, cpus_per_job=2, runtime_1ghz=100.0
+        )
+
+        def one_run():
+            controller = InterstitialController(
+                machine=machine, project=project, continual=True
+            )
+            result = Engine(
+                machine,
+                fcfs_scheduler(),
+                trace=[j.copy_unscheduled() for j in trace],
+                interstitial=controller,
+                config=SimConfig(horizon=30_000.0),
+            ).run()
+            return sorted(
+                (j.kind.value, j.cpus, j.start_time, j.finish_time)
+                for j in result.finished
+            )
+
+        assert one_run() == one_run()

@@ -1,0 +1,104 @@
+"""Tests for the event queue."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMIT, "b")
+        q.push(1.0, EventKind.SUBMIT, "a")
+        q.push(9.0, EventKind.SUBMIT, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_kind_tiebreak_finish_before_submit(self):
+        # CPUs freed at t must be visible to jobs submitted at t.
+        q = EventQueue()
+        q.push(3.0, EventKind.SUBMIT, "submit")
+        q.push(3.0, EventKind.FINISH, "finish")
+        q.push(3.0, EventKind.OUTAGE, "outage")
+        q.push(3.0, EventKind.WAKE, "wake")
+        order = [q.pop().payload for _ in range(4)]
+        assert order == ["outage", "finish", "submit", "wake"]
+
+    def test_insertion_order_tiebreak(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(1.0, EventKind.SUBMIT, i)
+        assert [q.pop().payload for _ in range(10)] == list(range(10))
+
+
+class TestBatch:
+    def test_pop_batch_groups_equal_times(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, "a")
+        q.push(1.0, EventKind.SUBMIT, "b")
+        q.push(2.0, EventKind.SUBMIT, "c")
+        batch = q.pop_batch()
+        assert [e.payload for e in batch] == ["a", "b"]
+        assert q.pop_batch()[0].payload == "c"
+
+    def test_pop_batch_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop_batch()
+
+
+class TestBasics:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, EventKind.WAKE)
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.2, EventKind.WAKE)
+        assert q.peek_time() == 4.2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_rejects_nonfinite_time(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(math.inf, EventKind.WAKE)
+        with pytest.raises(SimulationError):
+            q.push(math.nan, EventKind.WAKE)
+
+
+@given(
+    times=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100),
+)
+def test_property_pops_are_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, EventKind.SUBMIT)
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(
+    times=st.lists(
+        st.sampled_from([0.0, 1.0, 2.0, 3.0]), min_size=1, max_size=50
+    )
+)
+def test_property_batches_partition_by_time(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, EventKind.SUBMIT)
+    seen = []
+    while q:
+        batch = q.pop_batch()
+        batch_times = {e.time for e in batch}
+        assert len(batch_times) == 1
+        seen.extend(e.time for e in batch)
+    assert seen == sorted(times)

@@ -1,0 +1,68 @@
+"""Tests for the outage model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.outages import Outage, OutageSchedule
+
+
+class TestOutage:
+    def test_duration(self):
+        assert Outage(10.0, 25.0, 4).duration == 15.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValidationError):
+            Outage(10.0, 10.0, 4)
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValidationError):
+            Outage(10.0, 5.0, 4)
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValidationError):
+            Outage(0.0, 1.0, 0)
+
+
+class TestSchedule:
+    def test_empty(self):
+        schedule = OutageSchedule()
+        assert not schedule
+        assert schedule.max_down() == 0
+        assert schedule.down_at(5.0) == 0
+
+    def test_down_at(self):
+        schedule = OutageSchedule([Outage(10.0, 20.0, 8)])
+        assert schedule.down_at(9.999) == 0
+        assert schedule.down_at(10.0) == 8
+        assert schedule.down_at(19.999) == 8
+        assert schedule.down_at(20.0) == 0
+
+    def test_overlap_stacks(self):
+        schedule = OutageSchedule(
+            [Outage(0.0, 10.0, 4), Outage(5.0, 15.0, 6)]
+        )
+        assert schedule.down_at(7.0) == 10
+        assert schedule.max_down() == 10
+
+    def test_transitions_are_balanced(self):
+        schedule = OutageSchedule(
+            [Outage(0.0, 10.0, 4), Outage(5.0, 15.0, 6)]
+        )
+        transitions = schedule.transitions()
+        assert sum(d for _, d in transitions) == 0
+        assert [t for t, _ in transitions] == sorted(
+            t for t, _ in transitions
+        )
+
+    def test_total_downtime(self):
+        schedule = OutageSchedule(
+            [Outage(0.0, 10.0, 4), Outage(100.0, 110.0, 2)]
+        )
+        assert schedule.total_downtime_cpu_seconds() == 60.0
+
+    def test_iteration_sorted(self):
+        schedule = OutageSchedule(
+            [Outage(50.0, 60.0, 1), Outage(0.0, 10.0, 1)]
+        )
+        starts = [o.start for o in schedule]
+        assert starts == [0.0, 50.0]

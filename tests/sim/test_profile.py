@@ -1,0 +1,295 @@
+"""Tests for step functions and capacity profiles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ValidationError
+from repro.sim.profile import INFINITY, CapacityProfile, StepFunction
+
+
+class TestStepFunctionConstruction:
+    def test_constant(self):
+        f = StepFunction.constant(7.0)
+        assert f(0.0) == 7.0
+        assert f(1e9) == 7.0
+
+    def test_from_deltas_basic(self):
+        f = StepFunction.from_deltas([10.0, 20.0], [5.0, -5.0], base=2.0)
+        assert f(0.0) == 2.0
+        assert f(10.0) == 7.0
+        assert f(15.0) == 7.0
+        assert f(20.0) == 2.0
+
+    def test_from_deltas_aggregates_duplicates(self):
+        f = StepFunction.from_deltas([5.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+        assert f(5.0) == 6.0
+        assert f.times.size == 1
+
+    def test_from_deltas_empty(self):
+        f = StepFunction.from_deltas([], [], base=3.0)
+        assert f(123.0) == 3.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            StepFunction.from_deltas([1.0], [1.0, 2.0])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValidationError):
+            StepFunction([2.0, 1.0], [1.0, 2.0])
+
+
+class TestStepFunctionQueries:
+    @pytest.fixture
+    def staircase(self):
+        # 0 on (-inf,0), 4 on [0,10), 1 on [10,20), 6 on [20,inf)
+        return StepFunction([0.0, 10.0, 20.0], [4.0, 1.0, 6.0], base=0.0)
+
+    def test_value_at(self, staircase):
+        assert staircase(-1.0) == 0.0
+        assert staircase(0.0) == 4.0
+        assert staircase(9.999) == 4.0
+        assert staircase(10.0) == 1.0
+        assert staircase(25.0) == 6.0
+
+    def test_min_over_window(self, staircase):
+        assert staircase.min_over(0.0, 10.0) == 4.0
+        assert staircase.min_over(0.0, 15.0) == 1.0
+        assert staircase.min_over(5.0, 25.0) == 1.0
+        assert staircase.min_over(20.0, 30.0) == 6.0
+
+    def test_min_over_point_query(self, staircase):
+        assert staircase.min_over(5.0, 5.0) == 4.0
+
+    def test_min_over_right_open(self, staircase):
+        # Window [0, 10) excludes the drop at t=10.
+        assert staircase.min_over(0.0, 10.0) == 4.0
+
+    def test_min_over_rejects_reversed(self, staircase):
+        with pytest.raises(ValidationError):
+            staircase.min_over(5.0, 4.0)
+
+    def test_integrate(self, staircase):
+        # 10*4 + 10*1 + 10*6 over [0, 30].
+        assert staircase.integrate(0.0, 30.0) == pytest.approx(110.0)
+
+    def test_integrate_partial_segments(self, staircase):
+        assert staircase.integrate(5.0, 12.0) == pytest.approx(
+            5 * 4.0 + 2 * 1.0
+        )
+
+    def test_integrate_before_first_breakpoint(self):
+        f = StepFunction([10.0], [5.0], base=2.0)
+        assert f.integrate(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_average(self, staircase):
+        assert staircase.average(0.0, 20.0) == pytest.approx(2.5)
+
+    def test_sample_vectorized(self, staircase):
+        values = staircase.sample([-1.0, 0.0, 10.0, 30.0])
+        assert list(values) == [0.0, 4.0, 1.0, 6.0]
+
+    def test_negate_from(self, staircase):
+        free = staircase.negate_from(10.0)
+        assert free(5.0) == 6.0
+        assert free(-1.0) == 10.0
+
+    def test_shift_values(self, staircase):
+        shifted = staircase.shift_values(1.0)
+        assert shifted(5.0) == 5.0
+
+
+@settings(max_examples=60)
+@given(
+    events=st.lists(
+        st.tuples(st.floats(0.0, 1000.0), st.integers(-5, 5)),
+        min_size=1,
+        max_size=30,
+    ),
+    probe=st.floats(-10.0, 1100.0),
+)
+def test_property_value_matches_running_sum(events, probe):
+    """f(t) equals base plus the sum of deltas at times <= t."""
+    f = StepFunction.from_deltas(
+        [t for t, _ in events], [d for _, d in events], base=3.0
+    )
+    expected = 3.0 + sum(d for t, d in events if t <= probe)
+    assert f(probe) == pytest.approx(expected)
+
+
+@settings(max_examples=60)
+@given(
+    events=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.integers(-3, 3)),
+        min_size=1,
+        max_size=20,
+    ),
+    t0=st.floats(0.0, 50.0),
+    span=st.floats(0.1, 60.0),
+)
+def test_property_min_over_matches_bruteforce(events, t0, span):
+    """Window minimum agrees with dense sampling of the window."""
+    f = StepFunction.from_deltas(
+        [t for t, _ in events], [d for _, d in events]
+    )
+    t1 = t0 + span
+    probes = np.unique(
+        np.concatenate(
+            [[t0], np.clip(f.times, t0, np.nextafter(t1, t0))]
+        )
+    )
+    probes = probes[(probes >= t0) & (probes < t1)]
+    brute = min(f(p) for p in probes)
+    assert f.min_over(t0, t1) == pytest.approx(brute)
+
+
+@settings(max_examples=60)
+@given(
+    events=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.integers(-3, 3)),
+        min_size=1,
+        max_size=20,
+    ),
+    t0=st.floats(0.0, 50.0),
+    mid=st.floats(0.0, 30.0),
+    span=st.floats(0.0, 30.0),
+)
+def test_property_integral_additive(events, t0, mid, span):
+    """integrate(a,c) = integrate(a,b) + integrate(b,c)."""
+    f = StepFunction.from_deltas(
+        [t for t, _ in events], [d for _, d in events]
+    )
+    a, b, c = t0, t0 + mid, t0 + mid + span
+    assert f.integrate(a, c) == pytest.approx(
+        f.integrate(a, b) + f.integrate(b, c), abs=1e-6
+    )
+
+
+class TestCapacityProfile:
+    def test_initial_constant(self):
+        p = CapacityProfile(10.0)
+        assert p.capacity_at(0.0) == 10.0
+        assert p.capacity_at(1e9) == 10.0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValidationError):
+            CapacityProfile(-1.0)
+
+    def test_reserve_carves_window(self):
+        p = CapacityProfile(10.0)
+        p.reserve(5.0, 15.0, 4.0)
+        assert p.capacity_at(0.0) == 10.0
+        assert p.capacity_at(5.0) == 6.0
+        assert p.capacity_at(14.999) == 6.0
+        assert p.capacity_at(15.0) == 10.0
+
+    def test_reserve_stacks(self):
+        p = CapacityProfile(10.0)
+        p.reserve(0.0, 10.0, 3.0)
+        p.reserve(5.0, 15.0, 3.0)
+        assert p.capacity_at(7.0) == 4.0
+        assert p.capacity_at(12.0) == 7.0
+
+    def test_reserve_checks_capacity(self):
+        p = CapacityProfile(10.0)
+        p.reserve(0.0, 10.0, 8.0)
+        with pytest.raises(CapacityError):
+            p.reserve(5.0, 6.0, 3.0)
+        # Failed reservation left the profile unchanged.
+        assert p.capacity_at(5.5) == 2.0
+
+    def test_reserve_unchecked_goes_negative(self):
+        p = CapacityProfile(2.0)
+        p.reserve(0.0, 5.0, 5.0, check=False)
+        assert p.capacity_at(1.0) == -3.0
+
+    def test_reserve_infinite_end(self):
+        p = CapacityProfile(10.0)
+        p.reserve(3.0, math.inf, 4.0)
+        assert p.capacity_at(1e12) == 6.0
+
+    def test_reserve_rejects_empty_window(self):
+        p = CapacityProfile(10.0)
+        with pytest.raises(ValidationError):
+            p.reserve(5.0, 5.0, 1.0)
+
+    def test_zero_reservation_noop(self):
+        p = CapacityProfile(10.0)
+        p.reserve(0.0, 5.0, 0.0)
+        assert p.breakpoints == (0.0,)
+
+    def test_min_over(self):
+        p = CapacityProfile(10.0)
+        p.reserve(5.0, 10.0, 7.0)
+        assert p.min_over(0.0, 20.0) == 3.0
+        assert p.min_over(0.0, 5.0) == 10.0
+        assert p.min_over(10.0, 20.0) == 10.0
+
+    def test_earliest_fit_now(self):
+        p = CapacityProfile(10.0)
+        assert p.earliest_fit(0.0, 5.0, 10.0) == 0.0
+
+    def test_earliest_fit_after_release(self):
+        p = CapacityProfile(10.0)
+        p.reserve(0.0, 100.0, 8.0)
+        assert p.earliest_fit(0.0, 10.0, 5.0) == 100.0
+
+    def test_earliest_fit_in_gap_requires_duration(self):
+        p = CapacityProfile(10.0)
+        p.reserve(0.0, 50.0, 8.0)
+        p.reserve(60.0, 100.0, 8.0)
+        # 5-wide job: the [50,60) gap fits a <=10s job, not a 20s one.
+        assert p.earliest_fit(0.0, 10.0, 5.0) == 50.0
+        assert p.earliest_fit(0.0, 20.0, 5.0) == 100.0
+
+    def test_earliest_fit_impossible(self):
+        p = CapacityProfile(4.0)
+        assert p.earliest_fit(0.0, 10.0, 5.0) == INFINITY
+
+    def test_copy_isolation(self):
+        p = CapacityProfile(10.0)
+        q = p.copy()
+        q.reserve(0.0, 5.0, 4.0)
+        assert p.capacity_at(1.0) == 10.0
+
+    def test_as_step_function(self):
+        p = CapacityProfile(10.0, start=0.0)
+        p.reserve(2.0, 4.0, 3.0)
+        f = p.as_step_function()
+        assert f(3.0) == 7.0
+        assert f(5.0) == 10.0
+
+
+@settings(max_examples=60)
+@given(
+    reservations=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0),   # start
+            st.floats(0.1, 50.0),    # duration
+            st.integers(1, 3),       # cpus
+        ),
+        min_size=0,
+        max_size=12,
+    ),
+    duration=st.floats(0.1, 40.0),
+    cpus=st.integers(1, 10),
+)
+def test_property_earliest_fit_is_valid_and_earliest(
+    reservations, duration, cpus
+):
+    """earliest_fit returns a window that fits, and no breakpoint-aligned
+    earlier window fits."""
+    p = CapacityProfile(10.0)
+    for start, dur, width in reservations:
+        p.reserve(start, start + dur, width, check=False)
+    t = p.earliest_fit(0.0, duration, cpus)
+    if math.isinf(t):
+        assert p.min_over(1e9, 1e9 + duration) < cpus
+        return
+    assert p.min_over(t, t + duration) >= cpus
+    earlier = [c for c in (0.0,) + p.breakpoints if c < t]
+    for candidate in earlier:
+        assert p.min_over(candidate, candidate + duration) < cpus

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_registered(self):
+        for name in ("table1", "table2", "fig5", "ablation-caps"):
+            assert name in EXPERIMENTS
+
+    def test_parser_accepts_experiment(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["table1", "--scale", "quick"])
+        assert args.scale == "quick"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "ablation-width" in out
+
+    def test_run_one_experiment(self, capsys):
+        assert main(["table1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Blue Mt." in out

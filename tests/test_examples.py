@@ -1,0 +1,49 @@
+"""Sanity checks on the example scripts.
+
+The examples run multi-minute simulations, so the suite only verifies
+that each one imports cleanly (catching API drift) and exposes a
+``main`` entry point; the examples themselves are exercised manually /
+in CI's long lane.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=lambda p: p.stem
+    )
+    def test_imports_and_has_main(self, path):
+        module = load_module(path)
+        assert callable(getattr(module, "main", None)), (
+            f"{path.name} must define main()"
+        )
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=lambda p: p.stem
+    )
+    def test_has_module_docstring(self, path):
+        module = load_module(path)
+        assert module.__doc__ and len(module.__doc__) > 40

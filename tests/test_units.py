@@ -1,0 +1,70 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_hour(self):
+        assert units.HOUR == 3600.0
+
+    def test_day(self):
+        assert units.DAY == 24 * units.HOUR
+
+    def test_peta_vs_tera(self):
+        assert units.PETA == 1000 * units.TERA
+
+
+class TestCycles:
+    def test_paper_blue_mountain_capacity(self):
+        # Table 1: 4662 CPUs x 0.262 GHz = 1.221 TCycles.
+        assert units.cycles(4662, 1.0, 0.262) / units.TERA == pytest.approx(
+            1.221, abs=0.001
+        )
+
+    def test_paper_project_size(self):
+        # 64k jobs x 1 CPU x 120 s @ 1 GHz = 7.68 peta-cycles ("7.7").
+        per_job = units.peta_cycles(1, 120.0, 1.0)
+        assert 64_000 * per_job == pytest.approx(7.68)
+
+    def test_zero_runtime(self):
+        assert units.cycles(10, 0.0, 1.0) == 0.0
+
+
+class TestNormalizeRuntime:
+    def test_blue_mountain_normalization(self):
+        # Paper: 120 s @ 1 GHz -> 458 s at 0.262 GHz.
+        assert units.normalize_runtime(120.0, 0.262) == pytest.approx(
+            458.015, abs=0.01
+        )
+
+    def test_identity_at_1ghz(self):
+        assert units.normalize_runtime(300.0, 1.0) == 300.0
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            units.normalize_runtime(120.0, 0.0)
+        with pytest.raises(ValueError):
+            units.normalize_runtime(120.0, -1.0)
+
+    @given(
+        runtime=st.floats(0.0, 1e6),
+        clock=st.floats(0.01, 10.0),
+    )
+    def test_roundtrip(self, runtime, clock):
+        # Normalizing then un-normalizing is the identity.
+        actual = units.normalize_runtime(runtime, clock)
+        assert actual * clock == pytest.approx(runtime, rel=1e-9, abs=1e-9)
+
+
+class TestConversions:
+    def test_hours(self):
+        assert units.hours(7200.0) == 2.0
+
+    def test_days(self):
+        assert units.days(86400.0 * 3) == 3.0

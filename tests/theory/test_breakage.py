@@ -1,0 +1,82 @@
+"""Tests for the breakage model against the paper's §4.2 numbers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.theory import breakage_factor, expected_breakage_cpus
+
+
+class TestPaperValues:
+    def test_ross(self):
+        # (1436 * .369 / 32) / floor(...) = 16.55/16 = 1.035
+        assert breakage_factor(1436, 0.631, 32) == pytest.approx(
+            1.035, abs=0.001
+        )
+
+    def test_blue_mountain(self):
+        # 30.59 / 30 = 1.020
+        assert breakage_factor(4662, 0.790, 32) == pytest.approx(
+            1.020, abs=0.001
+        )
+
+    def test_blue_pacific(self):
+        # 2.69 / 2 = 1.346
+        assert breakage_factor(926, 0.907, 32) == pytest.approx(
+            1.346, abs=0.001
+        )
+
+    def test_paper_example_90_free(self):
+        """'only two (not three) 32 CPU jobs can fit if there are 90
+        available processors, wasting 26 CPUs'."""
+        # 90 free CPUs: machine of 900 CPUs at U=0.9.
+        assert expected_breakage_cpus(900, 0.9, 32) == pytest.approx(26.0)
+
+
+class TestEdgeCases:
+    def test_single_cpu_jobs_no_breakage(self):
+        assert breakage_factor(1000, 0.5, 1) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_width_exceeding_free_pool_infinite(self):
+        # Average free = 10; 32-wide jobs never fit on average.
+        assert math.isinf(breakage_factor(100, 0.9, 32))
+
+    def test_exact_tiling_no_breakage(self):
+        # Free = 64, width 32: exactly two jobs, ratio 1.0.
+        assert breakage_factor(128, 0.5, 32) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            breakage_factor(0, 0.5, 1)
+        with pytest.raises(ValidationError):
+            breakage_factor(10, 1.0, 1)
+        with pytest.raises(ValidationError):
+            breakage_factor(10, 0.5, 0)
+
+
+@given(
+    n=st.integers(2, 10_000),
+    u=st.floats(0.0, 0.99),
+    width=st.integers(1, 256),
+)
+def test_property_factor_in_unit_interval(n, u, width):
+    """Finite breakage factors always lie in [1, 2): the wasted slice
+    is less than one whole job."""
+    factor = breakage_factor(n, u, width)
+    if math.isfinite(factor):
+        assert 1.0 <= factor < 2.0
+
+
+@given(
+    n=st.integers(2, 10_000),
+    u=st.floats(0.0, 0.99),
+    width=st.integers(1, 256),
+)
+def test_property_wasted_cpus_below_width(n, u, width):
+    wasted = expected_breakage_cpus(n, u, width)
+    assert 0.0 <= wasted < width

@@ -1,0 +1,59 @@
+"""Tests for the affine fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.theory import fit_affine
+
+
+class TestFitAffine:
+    def test_recovers_exact_line(self):
+        x = [0.0, 1.0, 2.0, 5.0]
+        y = [3.0, 5.0, 7.0, 13.0]
+        fit = fit_affine(x, y)
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.max_relative_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_affine([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_noisy_fit_reasonable(self, rng):
+        x = np.linspace(0, 100, 50)
+        y = 10.0 + 2.0 * x + rng.normal(0, 1.0, size=50)
+        fit = fit_affine(x, y)
+        assert fit.slope == pytest.approx(2.0, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_affine([1.0], [1.0])
+        with pytest.raises(ValidationError):
+            fit_affine([1.0, 2.0], [1.0])
+
+    def test_describe(self):
+        fit = fit_affine([0.0, 1.0, 2.0], [5256.0, 5257.16, 5258.32])
+        assert "R^2" in fit.describe()
+
+    @settings(max_examples=30)
+    @given(
+        intercept=st.floats(-100.0, 100.0),
+        slope=st.floats(-10.0, 10.0),
+        xs=st.lists(
+            # A coarse grid keeps the design matrix well-conditioned;
+            # raw floats can be "unique" yet numerically coincident,
+            # making the slope unidentifiable.
+            st.integers(0, 1000), min_size=3, max_size=20, unique=True
+        ),
+    )
+    def test_property_exact_recovery(self, intercept, slope, xs):
+        xs = [x / 10.0 for x in xs]
+        ys = [intercept + slope * x for x in xs]
+        fit = fit_affine(xs, ys)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)

@@ -1,0 +1,74 @@
+"""Tests for the §4.2 makespan model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.jobs import InterstitialProject
+from repro.machines import blue_mountain, blue_pacific, ross
+from repro.theory import ideal_makespan, ideal_makespan_for
+from repro.theory.makespan import predicted_makespan
+from repro.units import HOUR, PETA
+
+
+class TestIdealMakespan:
+    def test_formula(self):
+        # P / (n C (1-U)): 1e15 cycles, 100 CPUs @ 1 GHz, U=0.5
+        # -> 1e15 / (100 * 1e9 * 0.5) = 20 000 s.
+        assert ideal_makespan(1e15, 100, 1.0, 0.5) == pytest.approx(
+            20_000.0
+        )
+
+    def test_paper_blue_mountain_point(self):
+        """The 123-PC project on Blue Mountain at U=.79: theory gives
+        ~133 h, matching the magnitude of Table 2's 166 h measured."""
+        project = InterstitialProject(
+            n_jobs=32_000, cpus_per_job=32, runtime_1ghz=120.0
+        )
+        span = ideal_makespan_for(project, blue_mountain(), 0.79)
+        assert span / HOUR == pytest.approx(133.0, rel=0.02)
+
+    def test_blue_pacific_much_slower(self):
+        """Same project is ~7x slower on Blue Pacific: smaller machine
+        times higher utilization (Table 2's ordering)."""
+        project = InterstitialProject.from_peta_cycles(30.1, 32, 120.0)
+        bm = ideal_makespan_for(project, blue_mountain(), 0.790)
+        bp = ideal_makespan_for(project, blue_pacific(), 0.907)
+        assert bp / bm > 5.0
+
+    def test_linear_in_project_size(self):
+        small = ideal_makespan(1e15, 100, 1.0, 0.5)
+        large = ideal_makespan(3e15, 100, 1.0, 0.5)
+        assert large == pytest.approx(3 * small)
+
+    def test_zero_project(self):
+        assert ideal_makespan(0.0, 100, 1.0, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ideal_makespan(-1.0, 100, 1.0, 0.5)
+        with pytest.raises(ValidationError):
+            ideal_makespan(1.0, 0, 1.0, 0.5)
+        with pytest.raises(ValidationError):
+            ideal_makespan(1.0, 100, 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            ideal_makespan(1.0, 100, 1.0, -0.1)
+
+
+class TestPredictedMakespan:
+    def test_paper_calibration(self):
+        """The paper's fit: 5256 + 1.16x."""
+        project = InterstitialProject.from_peta_cycles(7.7, 1, 120.0)
+        machine = ross()
+        ideal = ideal_makespan_for(project, machine, 0.631)
+        predicted = predicted_makespan(project, machine, 0.631)
+        assert predicted == pytest.approx(5256.0 + 1.16 * ideal)
+
+    def test_breakage_multiplier(self):
+        project = InterstitialProject.from_peta_cycles(7.7, 32, 120.0)
+        machine = blue_pacific()
+        plain = predicted_makespan(project, machine, 0.907)
+        with_b = predicted_makespan(
+            project, machine, 0.907, with_breakage=True
+        )
+        # Blue Pacific 32-CPU breakage is 1.346 (Table 3).
+        assert with_b / plain == pytest.approx(1.346, abs=0.002)

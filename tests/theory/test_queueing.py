@@ -1,0 +1,102 @@
+"""Tests for the M/M/c turnaround model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.theory.queueing import (
+    erlang_c,
+    mmc_mean_expansion_factor,
+    mmc_mean_wait,
+    wait_blowup_ratio,
+)
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(10, 0.0) == 0.0
+
+    def test_single_server_equals_rho(self):
+        # For M/M/1, P(queue) = rho.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_value(self):
+        # Textbook: c=2, a=1 -> C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(8, a) for a in (2.0, 4.0, 6.0, 7.5)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            erlang_c(0, 0.5)
+        with pytest.raises(ValidationError):
+            erlang_c(4, 4.0)  # load must be < c
+
+    @given(c=st.integers(1, 200), rho=st.floats(0.0, 0.99))
+    def test_property_probability(self, c, rho):
+        p = erlang_c(c, c * rho)
+        assert 0.0 <= p <= 1.0
+
+
+class TestMeanWait:
+    def test_zero_at_zero_load(self):
+        assert mmc_mean_wait(10, 0.0, 3600.0) == 0.0
+
+    def test_infinite_at_saturation(self):
+        assert math.isinf(mmc_mean_wait(10, 1.0, 3600.0))
+
+    def test_mm1_closed_form(self):
+        # M/M/1: W_q = rho/(mu(1-rho)).
+        rho, service = 0.8, 100.0
+        expected = rho / ((1 / service) * (1 - rho))
+        assert mmc_mean_wait(1, rho, service) == pytest.approx(expected)
+
+    def test_blowup_near_saturation(self):
+        """The paper's motivating fact: turnaround explodes as U -> 1."""
+        w78 = mmc_mean_wait(14, 0.78, 3600.0)
+        w95 = mmc_mean_wait(14, 0.95, 3600.0)
+        w99 = mmc_mean_wait(14, 0.99, 3600.0)
+        assert w95 > 5 * w78
+        assert w99 > 4 * w95
+
+    def test_more_servers_less_wait(self):
+        assert mmc_mean_wait(50, 0.9, 3600.0) < mmc_mean_wait(
+            5, 0.9, 3600.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            mmc_mean_wait(10, -0.1, 3600.0)
+        with pytest.raises(ValidationError):
+            mmc_mean_wait(10, 0.5, 0.0)
+
+    @given(
+        c=st.integers(1, 100),
+        u1=st.floats(0.05, 0.90),
+        delta=st.floats(0.01, 0.09),
+    )
+    def test_property_monotone_in_utilization(self, c, u1, delta):
+        assert mmc_mean_wait(c, u1 + delta, 100.0) >= mmc_mean_wait(
+            c, u1, 100.0
+        )
+
+
+class TestDerived:
+    def test_expansion_factor(self):
+        ef = mmc_mean_expansion_factor(1, 0.5, 100.0)
+        assert ef == pytest.approx(2.0)  # M/M/1: W_q = service at rho=.5
+
+    def test_expansion_factor_saturated(self):
+        assert math.isinf(mmc_mean_expansion_factor(4, 1.0, 100.0))
+
+    def test_blowup_ratio(self):
+        ratio = wait_blowup_ratio(14, 0.78, 0.95)
+        assert ratio > 5.0
+
+    def test_blowup_ratio_from_zero(self):
+        assert math.isinf(wait_blowup_ratio(4, 0.0, 0.5))

@@ -1,0 +1,54 @@
+"""Tests for the public-trace catalog."""
+
+import pytest
+
+from repro.workload.archive import (
+    CATALOG,
+    archive_entry,
+    catalog_keys,
+    load_archive_trace,
+)
+from repro.workload.swf import write_swf
+from repro.workload.synthetic import synthetic_trace_for
+
+import numpy as np
+
+
+class TestCatalog:
+    def test_known_traces_present(self):
+        assert {"lanl_cm5", "llnl_t3d", "sdsc_sp2", "ctc_sp2"} <= set(
+            catalog_keys()
+        )
+
+    def test_entries_consistent(self):
+        for entry in CATALOG.values():
+            assert entry.cpus > 0
+            assert entry.clock_ghz > 0
+            assert entry.n_jobs > 0
+            assert entry.url.startswith("https://")
+
+    def test_machine_built_from_entry(self):
+        machine = archive_entry("lanl_cm5").machine()
+        assert machine.cpus == 1024
+        assert machine.site == "Los Alamos"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            archive_entry("asci_red")
+
+
+class TestLoadArchiveTrace:
+    def test_load_from_disk(self, tmp_path):
+        # Stand-in for a downloaded archive file.
+        synthetic = synthetic_trace_for(
+            "ross", rng=np.random.default_rng(2), scale=0.02
+        )
+        path = tmp_path / "lanl.swf"
+        write_swf(synthetic, path)
+        trace = load_archive_trace("lanl_cm5", path)
+        assert trace.name == "LANL CM-5"
+        assert trace.n_jobs == synthetic.n_jobs
+
+    def test_unknown_key_before_io(self, tmp_path):
+        with pytest.raises(KeyError):
+            load_archive_trace("nope", tmp_path / "missing.swf")

@@ -1,0 +1,115 @@
+"""Tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR
+from repro.workload.arrivals import (
+    BurstyProcess,
+    PoissonProcess,
+    WeeklyCycle,
+    generate_arrivals,
+)
+
+
+class TestPoisson:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0)
+
+    def test_count_near_expectation(self, rng):
+        arrivals = PoissonProcess(rate=0.01).sample(1_000_000.0, rng)
+        assert 9_000 < arrivals.size < 11_000
+
+    def test_sorted_within_window(self, rng):
+        arrivals = PoissonProcess(rate=0.001).sample(100_000.0, rng)
+        assert (np.diff(arrivals) >= 0).all()
+        assert arrivals.min() >= 0.0
+        assert arrivals.max() < 100_000.0
+
+
+class TestWeeklyCycle:
+    def test_multiplier_day_night_weekend(self):
+        cycle = WeeklyCycle()
+        monday_noon = 12 * HOUR
+        monday_night = 23 * HOUR
+        saturday_noon = 5 * DAY + 12 * HOUR
+        assert cycle.multiplier(monday_noon) == cycle.day_factor
+        assert cycle.multiplier(monday_night) == cycle.night_factor
+        assert cycle.multiplier(saturday_noon) == cycle.weekend_factor
+
+    def test_vectorized_matches_scalar(self):
+        cycle = WeeklyCycle()
+        times = np.linspace(0.0, 14 * DAY, 200)
+        vector = cycle.multipliers(times)
+        scalar = np.array([cycle.multiplier(t) for t in times])
+        assert np.array_equal(vector, scalar)
+
+    def test_mean_factor_matches_empirical(self):
+        cycle = WeeklyCycle()
+        times = np.arange(0.0, 7 * DAY, 60.0)
+        empirical = cycle.multipliers(times).mean()
+        assert cycle.mean_factor() == pytest.approx(empirical, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyCycle(day_factor=-1.0)
+        with pytest.raises(ConfigurationError):
+            WeeklyCycle(day_start_hour=20.0, day_end_hour=8.0)
+
+
+class TestBurstyProcess:
+    def test_segments_cover_duration(self, rng):
+        bursts = BurstyProcess()
+        segments = bursts.sample_states(100_000.0, rng)
+        assert segments[0][0] == 0.0
+        assert segments[-1][1] == 100_000.0
+        for (s0, e0, _), (s1, _, _) in zip(segments, segments[1:]):
+            assert e0 == s1
+
+    def test_alternating_factors(self, rng):
+        bursts = BurstyProcess()
+        segments = bursts.sample_states(500_000.0, rng)
+        factors = [f for _, _, f in segments]
+        for a, b in zip(factors, factors[1:]):
+            assert a != b
+
+    def test_mean_factor(self):
+        bursts = BurstyProcess(
+            mean_quiet_s=100.0, mean_burst_s=100.0,
+            burst_factor=3.0, quiet_factor=1.0,
+        )
+        assert bursts.mean_factor() == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstyProcess(mean_quiet_s=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstyProcess(burst_factor=0.1, quiet_factor=0.5)
+
+
+class TestGenerateArrivals:
+    def test_expected_count(self, rng):
+        arrivals = generate_arrivals(2000, 30 * DAY, rng)
+        assert 1500 < arrivals.size < 2500
+
+    def test_within_window(self, rng):
+        arrivals = generate_arrivals(500, 10 * DAY, rng)
+        assert arrivals.min() >= 0.0
+        assert arrivals.max() < 10 * DAY
+
+    def test_burstier_than_poisson(self, rng):
+        """Index of dispersion of hourly counts must exceed Poisson's 1."""
+        arrivals = generate_arrivals(5000, 30 * DAY, rng)
+        n_bins = int(30 * DAY // HOUR)
+        counts, _ = np.histogram(arrivals, bins=n_bins,
+                                 range=(0.0, n_bins * HOUR))
+        dispersion = counts.var() / counts.mean()
+        assert dispersion > 1.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(0, 100.0, rng)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(10, 0.0, rng)

@@ -1,0 +1,126 @@
+"""Tests for the job attribute distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import (
+    DefaultHeavyEstimates,
+    LogNormalRuntimes,
+    PowerOfTwoWidths,
+)
+
+
+class TestPowerOfTwoWidths:
+    def test_samples_are_powers_of_two(self, rng):
+        dist = PowerOfTwoWidths(max_exponent=6)
+        widths = dist.sample(500, rng)
+        assert set(np.unique(widths)) <= {1, 2, 4, 8, 16, 32, 64}
+
+    def test_mean_matches_analytic(self, rng):
+        dist = PowerOfTwoWidths(max_exponent=5, tilt=0.2)
+        widths = dist.sample(200_000, rng)
+        assert widths.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_tilt_narrows(self, rng):
+        flat = PowerOfTwoWidths(max_exponent=8, tilt=0.0)
+        narrow = PowerOfTwoWidths(max_exponent=8, tilt=1.0)
+        assert narrow.mean() < flat.mean()
+
+    def test_for_machine_caps_width(self):
+        dist = PowerOfTwoWidths.for_machine(926, 0.25)
+        assert 2 ** dist.max_exponent <= 926 * 0.25
+
+    def test_for_machine_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerOfTwoWidths.for_machine(100, 0.0)
+
+    def test_probabilities_sum_to_one(self):
+        dist = PowerOfTwoWidths(max_exponent=10, tilt=0.3)
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestLogNormalRuntimes:
+    def test_median_matches(self, rng):
+        dist = LogNormalRuntimes(median_s=2880.0, sigma=1.5,
+                                 min_runtime_s=1.0)
+        runtimes = dist.sample(100_000, rng)
+        assert np.median(runtimes) == pytest.approx(2880.0, rel=0.05)
+
+    def test_heavy_tail_mean_exceeds_median(self, rng):
+        dist = LogNormalRuntimes(median_s=2880.0, sigma=1.5,
+                                 min_runtime_s=1.0)
+        runtimes = dist.sample(100_000, rng)
+        # Paper: mean 2.5 h vs median 0.8 h, a ~3x ratio.
+        assert runtimes.mean() / np.median(runtimes) > 2.0
+
+    def test_floor_applied(self, rng):
+        dist = LogNormalRuntimes(median_s=100.0, min_runtime_s=60.0)
+        assert dist.sample(10_000, rng).min() >= 60.0
+
+    def test_long_job_mixture_lifts_mean(self, rng):
+        base = LogNormalRuntimes(median_s=3600.0)
+        longy = LogNormalRuntimes(median_s=3600.0, long_fraction=0.05,
+                                  long_scale=20.0)
+        assert longy.mean() > base.mean()
+        samples = longy.sample(50_000, rng)
+        assert samples.mean() == pytest.approx(longy.mean(), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalRuntimes(median_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalRuntimes(median_s=1.0, sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalRuntimes(median_s=1.0, long_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalRuntimes(median_s=1.0, long_scale=0.5)
+
+
+class TestDefaultHeavyEstimates:
+    def test_estimates_never_below_runtime(self, rng):
+        dist = DefaultHeavyEstimates()
+        runtimes = rng.uniform(60.0, 100_000.0, size=5000)
+        estimates = dist.sample(runtimes, rng)
+        assert (estimates >= runtimes).all()
+
+    def test_default_values_dominate(self, rng):
+        dist = DefaultHeavyEstimates(default_fraction=1.0)
+        runtimes = np.full(5000, 100.0)
+        estimates = dist.sample(runtimes, rng)
+        assert set(np.unique(estimates)) <= set(dist.defaults_s)
+
+    def test_median_estimate_is_paper_like(self, rng):
+        """Median estimate ~6 h for short-running jobs (the paper's
+        default-dominated picture)."""
+        dist = DefaultHeavyEstimates()
+        runtimes = rng.lognormal(np.log(2880.0), 1.0, size=20_000)
+        estimates = dist.sample(runtimes, rng)
+        assert np.median(estimates) == pytest.approx(6 * 3600.0, rel=0.35)
+
+    def test_gross_overestimation(self, rng):
+        """Mean estimate/runtime ratio is large, as in the paper."""
+        dist = DefaultHeavyEstimates()
+        runtimes = rng.lognormal(np.log(2880.0), 1.0, size=20_000)
+        estimates = dist.sample(runtimes, rng)
+        assert np.median(estimates / runtimes) > 2.0
+
+    def test_honest_mode_scales_runtime(self, rng):
+        dist = DefaultHeavyEstimates(default_fraction=0.0,
+                                     honest_sigma=0.3)
+        runtimes = np.full(5000, 1000.0)
+        estimates = dist.sample(runtimes, rng)
+        assert (estimates >= 1000.0).all()
+        assert np.median(estimates) < 3000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DefaultHeavyEstimates(default_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DefaultHeavyEstimates(defaults_s=(1.0,), default_weights=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            DefaultHeavyEstimates(
+                defaults_s=(1.0, 2.0), default_weights=(0.5, 0.6)
+            )

@@ -1,0 +1,71 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machines import Machine
+from repro.workload import Trace, compute_stats
+from repro.workload.stats import burstiness_index
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def machine():
+    return Machine(name="M", cpus=100, clock_ghz=1.0)
+
+
+class TestComputeStats:
+    def test_basic_summary(self, machine):
+        jobs = [
+            make_job(cpus=10, runtime=3600.0, estimate=7200.0),
+            make_job(cpus=20, runtime=1800.0, estimate=3600.0,
+                     submit=100.0),
+        ]
+        trace = Trace(jobs=jobs, duration=86400.0, name="t")
+        stats = compute_stats(trace, machine)
+        assert stats.n_jobs == 2
+        assert stats.mean_width == 15.0
+        assert stats.max_width == 20
+        assert stats.median_runtime_h == pytest.approx(0.75)
+        assert stats.duration_days == pytest.approx(1.0)
+
+    def test_width_histogram(self, machine):
+        jobs = [make_job(cpus=4), make_job(cpus=4), make_job(cpus=8)]
+        trace = Trace(jobs=jobs, duration=1000.0)
+        stats = compute_stats(trace, machine)
+        assert stats.width_histogram == {4: 2, 8: 1}
+
+    def test_offered_utilization(self, machine):
+        jobs = [make_job(cpus=100, runtime=500.0)]
+        trace = Trace(jobs=jobs, duration=1000.0)
+        stats = compute_stats(trace, machine)
+        assert stats.offered_utilization == pytest.approx(0.5)
+
+    def test_empty_trace_rejected(self, machine):
+        with pytest.raises(ValidationError):
+            compute_stats(Trace(duration=10.0), machine)
+
+    def test_describe_readable(self, machine):
+        jobs = [make_job(cpus=10, runtime=3600.0)]
+        trace = Trace(jobs=jobs, duration=86400.0, name="demo")
+        text = compute_stats(trace, machine).describe()
+        assert "demo" in text
+        assert "utilization" in text
+
+
+class TestBurstiness:
+    def test_regular_arrivals_low_dispersion(self):
+        jobs = [make_job(submit=i * 360.0) for i in range(100)]
+        trace = Trace(jobs=jobs, duration=36_000.0)
+        assert burstiness_index(trace) <= 1.0
+
+    def test_clumped_arrivals_high_dispersion(self):
+        jobs = [make_job(submit=0.0) for _ in range(50)]
+        jobs += [make_job(submit=30_000.0) for _ in range(50)]
+        trace = Trace(jobs=jobs, duration=36_000.0)
+        assert burstiness_index(trace) > 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            burstiness_index(Trace(duration=100.0))

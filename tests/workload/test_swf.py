@@ -1,0 +1,120 @@
+"""Tests for SWF trace I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload import Trace, read_swf, write_swf
+from repro.workload.swf import swf_roundtrip
+
+from tests.conftest import make_job
+
+
+def swf_line(
+    job=1, submit=0, wait=-1, run=100, procs=4, req_procs=4,
+    req_time=200, status=1, user=7, group=2,
+):
+    fields = [job, submit, wait, run, procs, -1, -1, req_procs,
+              req_time, -1, status, user, group, -1, -1, -1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+class TestRead:
+    def test_basic_record(self):
+        trace = read_swf(io.StringIO(swf_line()))
+        assert trace.n_jobs == 1
+        job = trace.jobs[0]
+        assert job.cpus == 4
+        assert job.runtime == 100.0
+        assert job.estimate == 200.0
+        assert job.user == "user7"
+        assert job.group == "group2"
+
+    def test_comments_and_blanks_skipped(self):
+        content = "; header comment\n\n" + swf_line() + "\n"
+        trace = read_swf(io.StringIO(content))
+        assert trace.n_jobs == 1
+
+    def test_submit_times_rebased(self):
+        content = (
+            swf_line(job=1, submit=1000) + "\n"
+            + swf_line(job=2, submit=1500)
+        )
+        trace = read_swf(io.StringIO(content))
+        assert sorted(j.submit_time for j in trace.jobs) == [0.0, 500.0]
+
+    def test_requested_procs_fallback(self):
+        trace = read_swf(
+            io.StringIO(swf_line(procs=-1, req_procs=16))
+        )
+        assert trace.jobs[0].cpus == 16
+
+    def test_estimate_fallback_to_runtime(self):
+        trace = read_swf(io.StringIO(swf_line(req_time=-1, run=300)))
+        assert trace.jobs[0].estimate == 300.0
+
+    def test_estimate_floored_at_runtime(self):
+        # Some logs report runtime > request (overrun before kill).
+        trace = read_swf(io.StringIO(swf_line(run=500, req_time=100)))
+        assert trace.jobs[0].estimate == 500.0
+
+    def test_cancelled_records_skipped(self):
+        content = swf_line(run=-1) + "\n" + swf_line()
+        trace = read_swf(io.StringIO(content))
+        assert trace.n_jobs == 1
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO(swf_line().replace("100", "abc")))
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(TraceFormatError):
+            read_swf(io.StringIO("; nothing here\n"))
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_jobs(self):
+        jobs = [
+            make_job(cpus=4, runtime=100.0, estimate=400.0, submit=10.0,
+                     user="user3", group="group1"),
+            make_job(cpus=16, runtime=2000.0, estimate=7200.0,
+                     submit=500.0, user="user9", group="group0"),
+        ]
+        trace = Trace(jobs=jobs, duration=1000.0, name="orig")
+        back = swf_roundtrip(trace)
+        assert back.n_jobs == 2
+        orig = sorted(trace.jobs, key=lambda j: j.submit_time)
+        new = sorted(back.jobs, key=lambda j: j.submit_time)
+        for a, b in zip(orig, new):
+            assert b.cpus == a.cpus
+            assert b.runtime == pytest.approx(a.runtime, abs=1.0)
+            assert b.estimate == pytest.approx(a.estimate, abs=1.0)
+            assert b.user == a.user
+            assert b.group == a.group
+
+    def test_roundtrip_synthetic_trace(self):
+        from repro.workload import synthetic_trace_for
+
+        trace = synthetic_trace_for(
+            "ross", rng=np.random.default_rng(3), scale=0.02
+        )
+        back = swf_roundtrip(trace)
+        assert back.n_jobs == trace.n_jobs
+        assert back.offered_area() == pytest.approx(
+            trace.offered_area(), rel=0.01
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = [make_job(cpus=2, runtime=50.0, submit=5.0)]
+        trace = Trace(jobs=jobs, duration=100.0)
+        path = tmp_path / "trace.swf"
+        write_swf(trace, path)
+        back = read_swf(path)
+        assert back.n_jobs == 1
+        assert back.name.endswith("trace.swf")

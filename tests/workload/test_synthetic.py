@@ -1,0 +1,132 @@
+"""Tests for the calibrated synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machines import preset
+from repro.machines.presets import targets
+from repro.workload.stats import burstiness_index, compute_stats
+from repro.workload.synthetic import (
+    generate_trace,
+    mix_profile,
+    synthetic_trace_for,
+)
+
+
+@pytest.mark.parametrize("name", ["ross", "blue_mountain", "blue_pacific"])
+class TestCalibration:
+    def test_offered_utilization_exact(self, name, rng):
+        machine = preset(name)
+        trace = synthetic_trace_for(name, rng=rng, scale=0.1)
+        target = targets(name).utilization
+        assert trace.offered_utilization(machine) == pytest.approx(
+            target, abs=0.02
+        )
+
+    def test_job_count_near_target(self, name, rng):
+        trace = synthetic_trace_for(name, rng=rng, scale=0.1)
+        expected = targets(name).n_jobs * 0.1
+        assert 0.7 * expected < trace.n_jobs < 1.3 * expected
+
+    def test_duration_scaled(self, name, rng):
+        trace = synthetic_trace_for(name, rng=rng, scale=0.1)
+        assert trace.duration == pytest.approx(
+            targets(name).duration_s * 0.1
+        )
+
+    def test_jobs_fit_machine(self, name, rng):
+        machine = preset(name)
+        trace = synthetic_trace_for(name, rng=rng, scale=0.05)
+        assert all(j.cpus <= machine.cpus for j in trace.jobs)
+
+    def test_estimates_dominate_runtimes(self, name, rng):
+        trace = synthetic_trace_for(name, rng=rng, scale=0.05)
+        assert all(j.estimate >= j.runtime for j in trace.jobs)
+
+    def test_submissions_within_duration(self, name, rng):
+        trace = synthetic_trace_for(name, rng=rng, scale=0.05)
+        assert all(0 <= j.submit_time <= trace.duration for j in trace.jobs)
+
+
+class TestMixShapes:
+    def test_blue_mountain_estimates_grossly_overestimate(self, rng):
+        """Paper: median estimate 6 h vs median actual 0.8 h."""
+        machine = preset("blue_mountain")
+        trace = synthetic_trace_for("blue_mountain", rng=rng, scale=0.2)
+        stats = compute_stats(trace, machine)
+        assert stats.median_estimate_h / stats.median_runtime_h > 3.0
+
+    def test_blue_pacific_smaller_shorter(self, rng):
+        """Paper: Blue Pacific natives are relatively smaller and
+        shorter than Blue Mountain's."""
+        bm = synthetic_trace_for(
+            "blue_mountain", rng=np.random.default_rng(5), scale=0.1
+        )
+        bp = synthetic_trace_for(
+            "blue_pacific", rng=np.random.default_rng(5), scale=0.1
+        )
+        bm_stats = compute_stats(bm, preset("blue_mountain"))
+        bp_stats = compute_stats(bp, preset("blue_pacific"))
+        # Compare relative to machine size.
+        assert (
+            bp_stats.mean_width / 926 < bm_stats.mean_width / 4662 * 1.5
+        )
+        assert bp_stats.mean_runtime_h < bm_stats.mean_runtime_h
+
+    def test_ross_has_week_scale_jobs(self, rng):
+        trace = synthetic_trace_for("ross", rng=rng, scale=0.3)
+        longest = max(j.runtime for j in trace.jobs)
+        assert longest > 3 * 86400.0  # multi-day tail
+
+    def test_arrivals_bursty(self, rng):
+        trace = synthetic_trace_for("blue_mountain", rng=rng, scale=0.2)
+        assert burstiness_index(trace) > 1.5
+
+    def test_width_mix_is_powers_of_two(self, rng):
+        trace = synthetic_trace_for("blue_mountain", rng=rng, scale=0.05)
+        widths = {j.cpus for j in trace.jobs}
+        assert all((w & (w - 1)) == 0 for w in widths)
+
+
+class TestApi:
+    def test_unknown_machine(self, rng):
+        with pytest.raises(KeyError):
+            synthetic_trace_for("asci_white", rng=rng)
+
+    def test_mix_profile_unknown(self):
+        with pytest.raises(ConfigurationError):
+            mix_profile("asci_white", preset("ross"))
+
+    def test_scale_validation(self, rng):
+        machine = preset("ross")
+        with pytest.raises(ConfigurationError):
+            generate_trace(
+                machine,
+                targets("ross"),
+                mix_profile("ross", machine),
+                rng,
+                scale=0.0,
+            )
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_trace_for(
+            "ross", rng=np.random.default_rng(11), scale=0.05
+        )
+        b = synthetic_trace_for(
+            "ross", rng=np.random.default_rng(11), scale=0.05
+        )
+        assert a.n_jobs == b.n_jobs
+        assert [j.cpus for j in a.jobs] == [j.cpus for j in b.jobs]
+        assert [j.submit_time for j in a.jobs] == [
+            j.submit_time for j in b.jobs
+        ]
+
+    def test_utilization_override(self, rng):
+        machine = preset("blue_mountain")
+        trace = synthetic_trace_for(
+            "blue_mountain", rng=rng, scale=0.05, utilization=0.5
+        )
+        assert trace.offered_utilization(machine) == pytest.approx(
+            0.5, abs=0.02
+        )

@@ -1,0 +1,73 @@
+"""Tests for the Trace container."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machines import Machine
+from repro.workload import Trace
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def machine():
+    return Machine(name="M", cpus=10, clock_ghz=1.0)
+
+
+class TestConstruction:
+    def test_empty(self):
+        trace = Trace()
+        assert trace.n_jobs == 0
+        assert len(trace) == 0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValidationError):
+            Trace(duration=-1.0)
+
+    def test_rejects_submissions_after_end(self):
+        with pytest.raises(ValidationError):
+            Trace(jobs=[make_job(submit=100.0)], duration=50.0)
+
+
+class TestDerived:
+    def test_offered_area(self, machine):
+        jobs = [make_job(cpus=2, runtime=100.0),
+                make_job(cpus=3, runtime=10.0)]
+        trace = Trace(jobs=jobs, duration=1000.0)
+        assert trace.offered_area() == 230.0
+
+    def test_offered_utilization(self, machine):
+        jobs = [make_job(cpus=10, runtime=500.0)]
+        trace = Trace(jobs=jobs, duration=1000.0)
+        assert trace.offered_utilization(machine) == pytest.approx(0.5)
+
+    def test_offered_utilization_needs_duration(self, machine):
+        with pytest.raises(ValidationError):
+            Trace().offered_utilization(machine)
+
+    def test_sorted_jobs(self):
+        a = make_job(submit=50.0)
+        b = make_job(submit=10.0)
+        trace = Trace(jobs=[a, b], duration=100.0)
+        assert trace.sorted_jobs() == [b, a]
+
+
+class TestCopyTruncate:
+    def test_copy_isolates_state(self):
+        job = make_job()
+        trace = Trace(jobs=[job], duration=10.0)
+        copy = trace.copy()
+        copy.jobs[0].start_time = 5.0
+        assert job.start_time is None
+
+    def test_truncated_drops_late_jobs(self):
+        early = make_job(submit=10.0)
+        late = make_job(submit=900.0)
+        trace = Trace(jobs=[early, late], duration=1000.0, name="t")
+        short = trace.truncated(100.0)
+        assert short.n_jobs == 1
+        assert short.duration == 100.0
+
+    def test_truncated_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Trace(duration=10.0).truncated(0.0)

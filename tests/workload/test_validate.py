@@ -1,0 +1,90 @@
+"""Tests for trace validation."""
+
+import numpy as np
+import pytest
+
+from repro.jobs import Job
+from repro.machines import Machine
+from repro.workload import Trace, validate_trace
+from repro.workload.synthetic import synthetic_trace_for
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def machine():
+    return Machine(name="M", cpus=64, clock_ghz=1.0)
+
+
+class TestValidateTrace:
+    def test_clean_trace_ok(self, machine):
+        trace = Trace(jobs=[make_job(cpus=4)], duration=1000.0)
+        report = validate_trace(trace, machine)
+        assert report.ok
+        assert not report.issues
+
+    def test_synthetic_traces_validate(self, machine):
+        trace = synthetic_trace_for(
+            "ross", rng=np.random.default_rng(1), scale=0.03
+        )
+        from repro.machines import ross
+
+        report = validate_trace(trace, ross())
+        assert report.ok
+
+    def test_too_wide_is_error(self, machine):
+        trace = Trace(jobs=[make_job(cpus=100)], duration=1000.0)
+        report = validate_trace(trace, machine)
+        assert not report.ok
+        assert any("width" in i.message for i in report.errors)
+
+    def test_no_machine_skips_width_check(self):
+        trace = Trace(jobs=[make_job(cpus=100)], duration=1000.0)
+        assert validate_trace(trace).ok
+
+    def test_estimate_below_runtime_error(self, machine):
+        job = make_job(cpus=1, runtime=100.0)
+        job.estimate = 50.0  # bypass constructor validation
+        trace = Trace.__new__(Trace)
+        trace.jobs = [job]
+        trace.duration = 1000.0
+        trace.name = "hand-built"
+        report = validate_trace(trace, machine)
+        assert not report.ok
+
+    def test_long_job_warning(self, machine):
+        trace = Trace(
+            jobs=[make_job(cpus=1, runtime=900.0)], duration=1000.0
+        )
+        report = validate_trace(trace, machine)
+        assert report.ok  # warning, not error
+        assert report.warnings
+
+    def test_zero_runtime_warning(self, machine):
+        trace = Trace(
+            jobs=[make_job(cpus=1, runtime=0.0)], duration=1000.0
+        )
+        report = validate_trace(trace, machine)
+        assert report.ok
+        assert any("zero runtime" in w.message for w in report.warnings)
+
+    def test_duplicate_ids_warning(self, machine):
+        a = make_job()
+        b = a.copy_unscheduled()
+        trace = Trace(jobs=[a, b], duration=1000.0)
+        report = validate_trace(trace, machine)
+        assert any("duplicate" in w.message for w in report.warnings)
+
+    def test_empty_trace_warns(self, machine):
+        report = validate_trace(Trace(duration=10.0), machine)
+        assert report.ok
+        assert report.warnings
+
+    def test_describe_readable(self, machine):
+        trace = Trace(jobs=[make_job(cpus=100)], duration=1000.0)
+        text = validate_trace(trace, machine).describe()
+        assert "ERROR" in text
+
+    def test_describe_clean(self, machine):
+        trace = Trace(jobs=[make_job(cpus=4)], duration=1000.0)
+        assert "OK" in validate_trace(trace, machine).describe()
