@@ -1,0 +1,30 @@
+"""Fault ablation — the Figure-4 outage story with stochastic crashes.
+
+Shape claims checked: the no-fault continual run stays near the paper's
+~100% ceiling; failure counts grow as per-node MTBF shrinks;
+utilization erodes under the heaviest fault load; and fault-killed
+natives are retried per the RetryPolicy.
+"""
+
+from repro.experiments import fault_ablation
+
+
+def bench_fault_ablation(run_and_show, scale):
+    result = run_and_show(fault_ablation, scale)
+    data = result.data
+    baseline = data["no faults"]
+    worst = data["MTBF 10 d/node"]
+    mid = data["MTBF 30 d/node"]
+    assert baseline["n_failures"] == 0
+    assert baseline["overall_utilization"] > 0.9
+    # More frequent failures, more crash events and more killed work.
+    assert 0 < data["MTBF 90 d/node"]["n_failures"] < mid["n_failures"]
+    assert mid["n_failures"] < worst["n_failures"]
+    assert worst["killed_interstitial"] > 0
+    assert worst["killed_native"] > 0
+    # Crash downtime erodes the ceiling, but the machine keeps working.
+    assert worst["overall_utilization"] < baseline["overall_utilization"]
+    assert worst["overall_utilization"] > 0.5
+    # Every native kill is either retried or dead-lettered.
+    assert worst["retries"] >= worst["killed_native"] - worst["dead_lettered"]
+    assert worst["retries"] > 0

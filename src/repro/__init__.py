@@ -36,6 +36,7 @@ from repro.core import (
     sample_short_projects,
 )
 from repro.core.runners import run_single_project
+from repro.faults import FaultModel, FaultSchedule, NodeFault, RetryPolicy
 from repro.jobs import InterstitialProject, Job, JobKind
 from repro.machines import (
     Machine,
@@ -90,6 +91,11 @@ __all__ = [
     "SimResult",
     "Outage",
     "OutageSchedule",
+    # faults
+    "FaultModel",
+    "FaultSchedule",
+    "NodeFault",
+    "RetryPolicy",
     # schedulers
     "QueueScheduler",
     "pbs_scheduler",

@@ -5,6 +5,11 @@
 * ``repro list`` — enumerate the available experiments;
 * ``repro report [--scale NAME] [--output PATH]`` — regenerate every
   table and figure into one markdown report.
+
+``--check-invariants`` runs every simulation with the engine's
+accounting validator enabled (see ``SimConfig.check_invariants``) —
+slower, but any cluster-state inconsistency aborts with a diagnostic
+snapshot instead of corrupting results silently.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import sys
 from repro.experiments.config import SCALES, current_scale
 from repro.experiments.registry import EXPERIMENTS, REPORT_ORDER
 from repro.experiments.report import write_report
+from repro.sim.engine import set_default_invariant_checking
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,12 +51,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="repro_report.md",
         help="output path for 'report' (default: repro_report.md)",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "validate engine cluster accounting after every event "
+            "batch (slower; aborts with a diagnostic on violation)"
+        ),
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.check_invariants:
+        set_default_invariant_checking(True)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)

@@ -52,5 +52,15 @@ class InterstitialSource(abc.ABC):
         """Notification that ``jobs`` were killed at ``t``.
 
         Sources that track remaining work should re-credit the killed
-        jobs (their work was lost and must be redone).
+        jobs (their work was lost and must be redone).  Called both for
+        preemption (making room for a blocked native head job) and for
+        node-failure kills (:mod:`repro.faults`).
+        """
+
+    def on_fault(self, t: float, cpus: int) -> None:
+        """Notification that ``cpus`` processors crashed at ``t``.
+
+        Called for every FAILURE event, whether or not any interstitial
+        job was killed by it.  Sources may use it to degrade gracefully
+        (e.g. throttle submission while the machine is flaky).
         """

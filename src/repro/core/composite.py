@@ -163,3 +163,7 @@ class CompositeInterstitialSource(InterstitialSource):
                 )
         for source, killed in by_source.values():
             source.on_preempted(killed, t)
+
+    def on_fault(self, t: float, cpus: int) -> None:
+        for source in self.sources:
+            source.on_fault(t, cpus)

@@ -33,8 +33,9 @@ The controller also implements the two §4.3.2 variants:
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.core.base import InterstitialSource
 from repro.errors import ConfigurationError
@@ -52,8 +53,10 @@ class ControllerDecision:
 
     ``reason`` is one of ``no_room`` (no hole wide enough),
     ``head_imminent`` (the backfillWallTime gate blocked submission),
-    ``cap_blocked`` (the §4.3.2.2 utilization cap blocked it) or
-    ``submitted`` (``n_submitted`` jobs were handed to the engine).
+    ``cap_blocked`` (the §4.3.2.2 utilization cap blocked it),
+    ``fault_throttled`` (recent node failures crossed the graceful-
+    degradation threshold) or ``submitted`` (``n_submitted`` jobs were
+    handed to the engine).
     """
 
     time: float
@@ -97,6 +100,18 @@ class InterstitialController(InterstitialSource):
         no checkpoint/restart — that absence is exactly what creates
         "breakage in time" (§4.2) — so this mode measures what
         checkpointing would recover.
+    throttle_after_failures:
+        Graceful degradation under fault injection: stop submitting
+        when at least this many node failures were observed within
+        ``throttle_window`` seconds, and resume once
+        ``throttle_quiet_period`` seconds pass without a failure.
+        ``None`` (default) disables throttling.  Blocked decision
+        points are recorded with reason ``fault_throttled``.
+    throttle_window:
+        Width of the recent-failure observation window, in seconds.
+    throttle_quiet_period:
+        Failure-free time required before submission resumes, in
+        seconds.
     """
 
     #: Shortest restart fragment worth resubmitting (seconds); smaller
@@ -114,10 +129,22 @@ class InterstitialController(InterstitialSource):
         preemptible: bool = False,
         checkpointing: bool = False,
         record_decisions: bool = False,
+        throttle_after_failures: Optional[int] = None,
+        throttle_window: float = 3600.0,
+        throttle_quiet_period: float = 3600.0,
     ) -> None:
         if max_utilization is not None and not (0.0 < max_utilization <= 1.0):
             raise ConfigurationError(
                 f"max_utilization must be in (0, 1], got {max_utilization}"
+            )
+        if throttle_after_failures is not None and throttle_after_failures < 1:
+            raise ConfigurationError(
+                f"throttle_after_failures must be >= 1, "
+                f"got {throttle_after_failures}"
+            )
+        if throttle_window <= 0 or throttle_quiet_period <= 0:
+            raise ConfigurationError(
+                "throttle_window and throttle_quiet_period must be positive"
             )
         if start_time < 0.0:
             raise ConfigurationError(
@@ -149,10 +176,20 @@ class InterstitialController(InterstitialSource):
         self._checkpointing = checkpointing
         self.n_preempted = 0
         #: Remaining runtimes (seconds) of checkpointed fragments
-        #: awaiting resubmission, drained ahead of fresh jobs.
-        self._restart_queue: List[float] = []
+        #: awaiting resubmission, drained (FIFO) ahead of fresh jobs.
+        self._restart_queue: Deque[float] = deque()
         #: CPU-seconds of killed work preserved by checkpointing.
         self.work_preserved_cpu_s = 0.0
+        self.throttle_after_failures = throttle_after_failures
+        self.throttle_window = throttle_window
+        self.throttle_quiet_period = throttle_quiet_period
+        #: Times of recently observed node failures (for throttling).
+        self._recent_faults: Deque[float] = deque()
+        #: Submission is suspended until this time (graceful
+        #: degradation); -inf when not throttled.
+        self._throttled_until = -math.inf
+        #: Node failures observed via :meth:`on_fault`.
+        self.n_faults_seen = 0
         #: Decision trace (None unless ``record_decisions``); continual
         #: runs make hundreds of thousands of decisions, so this is
         #: opt-in.
@@ -197,10 +234,32 @@ class InterstitialController(InterstitialSource):
             if remainder >= self.MIN_RESTART_RUNTIME:
                 self._restart_queue.append(remainder)
 
+    def on_fault(self, t: float, cpus: int) -> None:
+        """Observe a node failure; arm the submission throttle when the
+        recent failure count crosses the configured threshold."""
+        self.n_faults_seen += 1
+        if self.throttle_after_failures is None:
+            return
+        self._recent_faults.append(t)
+        cutoff = t - self.throttle_window
+        while self._recent_faults and self._recent_faults[0] < cutoff:
+            self._recent_faults.popleft()
+        if len(self._recent_faults) >= self.throttle_after_failures:
+            self._throttled_until = t + self.throttle_quiet_period
+
+    @property
+    def throttled_until(self) -> float:
+        """Time until which fault throttling blocks submission
+        (``-inf`` when the throttle has never armed)."""
+        return self._throttled_until
+
     def offer(
         self, t: float, cluster: ClusterState, scheduler: "Scheduler"
     ) -> List[Job]:
         if t < self.start_time or self.exhausted:
+            return []
+        if t < self._throttled_until:
+            self._log(t, cluster, scheduler, 0, "fault_throttled")
             return []
         size = self.project.cpus_per_job
         count = cluster.free_cpus // size
@@ -227,7 +286,7 @@ class InterstitialController(InterstitialSource):
         # Checkpointed fragments restart ahead of fresh jobs.
         jobs: List[Job] = []
         while self._restart_queue and len(jobs) < count:
-            remainder = self._restart_queue.pop(0)
+            remainder = self._restart_queue.popleft()
             jobs.append(
                 Job(
                     cpus=size,

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.controller import InterstitialController
 from repro.core.omniscient import OmniscientPacking, pack_project
+from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import InterstitialProject, Job
 from repro.machines import Machine
 from repro.sched.base import Scheduler
@@ -36,6 +37,8 @@ def run_native(
     trace: Sequence[Job],
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
 ) -> SimResult:
     """Replay the native trace with no interstitial jobs (the baseline
@@ -45,6 +48,8 @@ def run_native(
         scheduler=scheduler or scheduler_for(machine),
         trace=_copy_trace(trace),
         outages=outages,
+        faults=faults,
+        retry=retry,
         config=SimConfig(horizon=horizon),
     )
     return engine.run()
@@ -56,6 +61,8 @@ def run_with_controller(
     controller: InterstitialController,
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
 ) -> SimResult:
     """Replay the native trace alongside a configured interstitial
@@ -66,6 +73,8 @@ def run_with_controller(
         trace=_copy_trace(trace),
         interstitial=controller,
         outages=outages,
+        faults=faults,
+        retry=retry,
         config=SimConfig(horizon=horizon),
     )
     return engine.run()
@@ -78,6 +87,8 @@ def run_continual(
     max_utilization: Optional[float] = None,
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
 ) -> Tuple[SimResult, InterstitialController]:
     """Continual interstitial computing (§4.3.2): feed interstitial jobs
@@ -97,6 +108,8 @@ def run_continual(
         controller,
         scheduler=scheduler,
         outages=outages,
+        faults=faults,
+        retry=retry,
         horizon=horizon,
     )
     return result, controller

@@ -33,5 +33,10 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class FaultError(ReproError):
+    """A fault-injection model was misconfigured or reached an
+    impossible failure/repair state."""
+
+
 class TraceFormatError(ReproError):
     """A workload trace file could not be parsed."""

@@ -17,6 +17,7 @@ from repro.experiments import (
     ablation_preemption,
     ablation_width,
     cascade_analysis,
+    fault_ablation,
     fig2,
     fig3,
     fig4,
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig3": fig3.run,
     "fig4": fig4.run,
     "fig4-outages": fig4_outages.run,
+    "fault-ablation": fault_ablation.run,
     "fig5": fig5.run,
     "fig6": fig6.run,
     "fit-theory": fit_theory.run,
@@ -80,6 +82,7 @@ REPORT_ORDER = (
     "table8-limited",
     "fig4",
     "fig4-outages",
+    "fault-ablation",
     "fig5",
     "fig6",
     "cascade-analysis",

@@ -1,0 +1,27 @@
+"""Fault injection: stochastic node failures, crash semantics, retries.
+
+Two complementary downtime models exist in the simulator:
+
+* :class:`~repro.sim.outages.OutageSchedule` — hand-scheduled *drain*
+  windows (maintenance): running jobs survive, capacity shrinks.
+* :class:`FaultModel` — seeded stochastic *crash* windows: the jobs on
+  the failed CPUs are killed; natives are requeued per a
+  :class:`RetryPolicy` while interstitials route through the
+  controller's ``on_preempted``/checkpoint path.
+"""
+
+from repro.faults.model import (
+    DISTRIBUTIONS,
+    FaultModel,
+    FaultSchedule,
+    NodeFault,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "FaultModel",
+    "FaultSchedule",
+    "NodeFault",
+    "RetryPolicy",
+]

@@ -1,0 +1,219 @@
+"""Stochastic node failure/repair model.
+
+The paper's Figure 4 attributes Blue Mountain's sub-100% ceiling under
+continual interstitial computing to *outages*, but the drain-style
+:class:`~repro.sim.outages.OutageSchedule` never kills running work.
+Real machines lose nodes mid-job; the value proposition of interstitial
+computing rests on tolerating exactly that cheaply (scavenger jobs are
+small, so a node crash wastes at most one small job's work, while a
+wide native job loses everything and must rerun).
+
+:class:`FaultModel` draws an alternating up/down renewal process per
+node — time-between-failures from an exponential or Weibull
+distribution with mean ``mtbf``, repair durations exponential with mean
+``mttr`` — and compiles it into a :class:`FaultSchedule` of crash
+windows.  Unlike outage windows, a fault window *kills* the jobs
+running on the failed CPUs when it opens (see
+:meth:`repro.sim.engine.Engine._apply_failure`).
+
+Sampling is fully deterministic in ``(seed, machine size, horizon)``:
+the same model compiled against the same machine yields bit-for-bit
+identical schedules, which is what makes seeded fault-injection runs
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.machines import Machine
+
+#: Supported time-between-failure distributions.
+DISTRIBUTIONS = ("exponential", "weibull")
+
+#: Salt mixed into the seed for the engine's victim-selection stream so
+#: it is independent of the schedule-sampling stream.
+_VICTIM_STREAM_SALT = 0xFA17
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One crash window: ``cpus`` processors fail at ``start`` (killing
+    whatever runs on them) and return to service at ``end``."""
+
+    start: float
+    end: float
+    cpus: int
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise FaultError("fault times must be finite")
+        if self.end <= self.start:
+            raise FaultError(
+                f"fault must have positive length: [{self.start}, {self.end})"
+            )
+        if self.cpus <= 0:
+            raise FaultError(f"fault cpus must be positive: {self.cpus}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class FaultSchedule:
+    """An ordered collection of crash windows (one per node failure).
+
+    The same shape as :class:`~repro.sim.outages.OutageSchedule` so the
+    metrics layer can account fault downtime the same way, but with
+    crash (kill) semantics in the engine instead of drain semantics.
+    """
+
+    def __init__(self, faults: Sequence[NodeFault] = ()) -> None:
+        self._faults: List[NodeFault] = sorted(
+            faults, key=lambda f: (f.start, f.end)
+        )
+
+    def __iter__(self) -> Iterator[NodeFault]:
+        return iter(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    def transitions(self) -> Sequence[Tuple[float, int]]:
+        """(time, cpu-delta) pairs for the engine's event queue."""
+        events: List[Tuple[float, int]] = []
+        for f in self._faults:
+            events.append((f.start, f.cpus))
+            events.append((f.end, -f.cpus))
+        events.sort()
+        return events
+
+    def max_concurrent_down(self) -> int:
+        """Maximum simultaneous failed CPUs across the schedule."""
+        down = peak = 0
+        for _, delta in self.transitions():
+            down += delta
+            peak = max(peak, down)
+        return peak
+
+    def down_at(self, t: float) -> int:
+        """Failed CPUs at time ``t``."""
+        return sum(f.cpus for f in self._faults if f.start <= t < f.end)
+
+    def total_downtime_cpu_seconds(self) -> float:
+        """Integral of failed CPUs over time (utilization accounting)."""
+        return sum(f.cpus * f.duration for f in self._faults)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Seeded per-node failure/repair renewal process.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failures of one *node*, in seconds.  The
+        machine-level failure rate is ``n_nodes / mtbf``.
+    mttr:
+        Mean time to repair one node, in seconds (exponential).
+    cpus_per_node:
+        CPUs lost per node failure.  Nodes partition the machine:
+        ``n_nodes = machine.cpus // cpus_per_node`` (a trailing partial
+        node is ignored).
+    distribution:
+        ``"exponential"`` (memoryless) or ``"weibull"`` (ageing;
+        ``shape > 1`` clusters failures, matching observed burstiness
+        on large machines).
+    shape:
+        Weibull shape parameter; ignored for exponential.
+    seed:
+        Root seed for both the schedule sampling stream and the
+        engine's victim-selection stream.
+    """
+
+    mtbf: float
+    mttr: float = 3600.0
+    cpus_per_node: int = 1
+    distribution: str = "exponential"
+    shape: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.mtbf) or self.mtbf <= 0:
+            raise FaultError(f"mtbf must be positive and finite: {self.mtbf}")
+        if not math.isfinite(self.mttr) or self.mttr <= 0:
+            raise FaultError(f"mttr must be positive and finite: {self.mttr}")
+        if self.cpus_per_node <= 0:
+            raise FaultError(
+                f"cpus_per_node must be positive: {self.cpus_per_node}"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise FaultError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if not math.isfinite(self.shape) or self.shape <= 0:
+            raise FaultError(f"shape must be positive and finite: {self.shape}")
+
+    # ------------------------------------------------------------------
+    def n_nodes(self, machine: Machine) -> int:
+        """Number of independent failure domains on ``machine``."""
+        nodes = machine.cpus // self.cpus_per_node
+        if nodes <= 0:
+            raise FaultError(
+                f"cpus_per_node={self.cpus_per_node} exceeds "
+                f"{machine.name}'s {machine.cpus} CPUs"
+            )
+        return nodes
+
+    def sample(self, machine: Machine, until: float) -> FaultSchedule:
+        """Compile the failure/repair process into crash windows.
+
+        Failures are drawn per node over ``[0, until)``; a repair may
+        complete after ``until`` (the window is kept so capacity
+        accounting stays balanced).  Deterministic in
+        ``(seed, machine.cpus, until)``.
+        """
+        if not math.isfinite(until) or until < 0:
+            raise FaultError(f"until must be finite and >= 0: {until}")
+        rng = np.random.default_rng((self.seed, machine.cpus))
+        if self.distribution == "weibull":
+            # Choose the Weibull scale so the mean equals mtbf.
+            scale = self.mtbf / math.gamma(1.0 + 1.0 / self.shape)
+        faults: List[NodeFault] = []
+        for _ in range(self.n_nodes(machine)):
+            t = 0.0
+            while True:
+                if self.distribution == "exponential":
+                    up = float(rng.exponential(self.mtbf))
+                else:
+                    up = float(scale * rng.weibull(self.shape))
+                t_fail = t + up
+                if t_fail >= until:
+                    break
+                repair = float(rng.exponential(self.mttr))
+                # Zero-length draws would violate NodeFault validation.
+                t_repair = t_fail + max(repair, 1e-9)
+                faults.append(
+                    NodeFault(t_fail, t_repair, self.cpus_per_node)
+                )
+                t = t_repair
+        return FaultSchedule(faults)
+
+    def victim_rng(self) -> np.random.Generator:
+        """Fresh generator for the engine's victim selection, seeded
+        independently of (but deterministically from) the schedule
+        stream."""
+        return np.random.default_rng((self.seed, _VICTIM_STREAM_SALT))
+
+    def expected_failures(self, machine: Machine, until: float) -> float:
+        """Rough expected failure count (renewal rate x nodes x time)."""
+        return self.n_nodes(machine) * until / (self.mtbf + self.mttr)

@@ -1,0 +1,77 @@
+"""Retry/backoff policy for fault-killed native jobs.
+
+Dubenskaya & Polyakov (arXiv:1909.00394) argue that low-priority
+scavenger workloads absorb failures via cheap resubmission; for the
+*native* workload a failure is expensive (the whole job reruns) and
+production batch systems requeue the job after a backoff.  The engine
+applies this policy to native jobs killed by a FAILURE event:
+interstitial jobs instead route through the controller's existing
+``on_preempted``/checkpoint path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resubmission rules for fault-killed native jobs.
+
+    Parameters
+    ----------
+    max_attempts:
+        Maximum number of *retries* after a fault kill.  A job killed
+        more than ``max_attempts`` times is dead-lettered (reported in
+        ``SimResult.dead_lettered``, never resubmitted).  ``None``
+        retries forever.
+    base_delay:
+        Backoff before the first resubmission, in seconds.
+    backoff_factor:
+        Multiplier applied per subsequent attempt (exponential backoff).
+    max_delay:
+        Cap on the backoff delay, in seconds.
+    """
+
+    max_attempts: Optional[int] = 3
+    base_delay: float = 60.0
+    backoff_factor: float = 2.0
+    max_delay: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 0:
+            raise FaultError(
+                f"max_attempts must be >= 0 or None: {self.max_attempts}"
+            )
+        if not math.isfinite(self.base_delay) or self.base_delay < 0:
+            raise FaultError(
+                f"base_delay must be finite and >= 0: {self.base_delay}"
+            )
+        if not math.isfinite(self.backoff_factor) or self.backoff_factor < 1.0:
+            raise FaultError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if not math.isfinite(self.max_delay) or self.max_delay < self.base_delay:
+            raise FaultError(
+                f"max_delay ({self.max_delay}) must be finite and >= "
+                f"base_delay ({self.base_delay})"
+            )
+
+    # ------------------------------------------------------------------
+    def allows(self, attempts: int) -> bool:
+        """Whether a job that has been killed ``attempts`` times may be
+        resubmitted."""
+        return self.max_attempts is None or attempts <= self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before resubmission number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultError(f"attempt must be >= 1: {attempt}")
+        return min(
+            self.base_delay * self.backoff_factor ** (attempt - 1),
+            self.max_delay,
+        )

@@ -14,9 +14,12 @@ interstitial source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import Job, JobState
 from repro.machines import Machine
 from repro.sim.events import EventKind, EventQueue
@@ -27,6 +30,23 @@ from repro.sim.state import ClusterState
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.core.base import InterstitialSource
     from repro.sched.base import Scheduler
+
+#: Process-wide default for :attr:`SimConfig.check_invariants` when the
+#: config leaves it unset (None).  Toggled by the CLI's
+#: ``--check-invariants`` flag so experiment drivers deep in the stack
+#: inherit it without plumbing.
+_DEFAULT_CHECK_INVARIANTS = False
+
+
+def set_default_invariant_checking(enabled: bool) -> None:
+    """Set the process-wide default for engine invariant checking."""
+    global _DEFAULT_CHECK_INVARIANTS
+    _DEFAULT_CHECK_INVARIANTS = bool(enabled)
+
+
+def default_invariant_checking() -> bool:
+    """Current process-wide invariant-checking default."""
+    return _DEFAULT_CHECK_INVARIANTS
 
 
 @dataclass(frozen=True)
@@ -48,17 +68,31 @@ class SimConfig:
     until:
         Hard stop: events after this time are not processed and the
         result reports unfinished jobs.  Mostly for debugging.
+    check_invariants:
+        Validate cluster accounting (busy == sum of running widths, no
+        double allocation, counters in range, monotone event times)
+        after every event batch, raising :class:`SimulationError` with
+        a diagnostic snapshot on violation.  ``None`` defers to the
+        process default (see :func:`set_default_invariant_checking`).
     """
 
     horizon: Optional[float] = None
     wake_interval: Optional[float] = None
     until: Optional[float] = None
+    check_invariants: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.wake_interval is not None and self.wake_interval <= 0:
             raise ConfigurationError(
                 f"wake_interval must be positive, got {self.wake_interval}"
             )
+
+    @property
+    def invariants_enabled(self) -> bool:
+        """Resolved invariant-checking flag (config or process default)."""
+        if self.check_invariants is None:
+            return _DEFAULT_CHECK_INVARIANTS
+        return self.check_invariants
 
 
 class Engine:
@@ -76,7 +110,15 @@ class Engine:
     interstitial:
         Optional interstitial job source (see :mod:`repro.core`).
     outages:
-        Optional downtime schedule.
+        Optional downtime schedule (drain semantics: running jobs
+        survive).
+    faults:
+        Optional stochastic node-failure model (crash semantics: jobs
+        on the failed CPUs are killed; see :mod:`repro.faults`).
+    retry:
+        Resubmission policy for fault-killed *native* jobs (defaults to
+        ``RetryPolicy()`` when ``faults`` is given).  Interstitial jobs
+        instead route through the source's ``on_preempted`` path.
     config:
         Engine options.
     """
@@ -88,19 +130,39 @@ class Engine:
         trace: Iterable[Job] = (),
         interstitial: Optional["InterstitialSource"] = None,
         outages: Optional[OutageSchedule] = None,
+        faults: Optional[FaultModel] = None,
+        retry: Optional[RetryPolicy] = None,
         config: Optional[SimConfig] = None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
         self.interstitial = interstitial
         self.outages = outages or OutageSchedule()
+        self.faults = faults
+        self.retry = retry if retry is not None else (
+            RetryPolicy() if faults is not None else None
+        )
         self.config = config or SimConfig()
         self.cluster = ClusterState(machine)
         self.events = EventQueue()
         self._finished: List[Job] = []
         self._killed: List[Job] = []
+        self._dead_lettered: List[Job] = []
         self._trace: List[Job] = list(trace)
         self._last_submit = 0.0
+        #: job_id -> fault-kill count (retry accounting).
+        self._attempts: Dict[int, int] = {}
+        #: Fault-killed natives with a pending RESUBMIT event.
+        self._awaiting_retry: Dict[int, Job] = {}
+        #: job_id -> scheduled finish time of the *current* incarnation,
+        #: used to discard stale FINISH events of killed-then-retried
+        #: jobs.
+        self._expected_finish: Dict[int, float] = {}
+        self._fault_transitions: List[Tuple[float, int]] = []
+        self._n_failures = 0
+        self._victim_rng: Optional[np.random.Generator] = (
+            faults.victim_rng() if faults is not None else None
+        )
         self._validate()
 
     def _validate(self) -> None:
@@ -123,14 +185,24 @@ class Engine:
             self._last_submit = max(self._last_submit, job.submit_time)
         for time, delta in self.outages.transitions():
             self.events.push(time, EventKind.OUTAGE, delta)
+        if self.faults is not None:
+            schedule = self.faults.sample(self.machine, self._fault_until())
+            for time, delta in schedule.transitions():
+                kind = EventKind.FAILURE if delta > 0 else EventKind.REPAIR
+                self.events.push(time, kind, abs(delta))
+                self._fault_transitions.append((time, delta))
         wake_until = self._wake_until()
         if self.config.wake_interval is not None and wake_until > 0:
             self.events.push(self.config.wake_interval, EventKind.WAKE, None)
+        check = self.config.invariants_enabled
 
         t = 0.0
         while self.events:
             next_time = self.events.peek_time()
-            assert next_time is not None
+            if next_time is None:
+                raise SimulationError(
+                    "event queue reported non-empty but has no next event"
+                )
             if self.config.until is not None and next_time > self.config.until:
                 t = self.config.until
                 break
@@ -143,6 +215,8 @@ class Engine:
             for event in batch:
                 self._handle(event, t, wake_until)
             self._scheduling_pass(t)
+            if check:
+                self._check_invariants(t)
             if not self.events and self.scheduler.queue_length > 0:
                 # Stall recovery: jobs remain queued (e.g. held by a
                 # time-of-day policy) but no event will ever re-run the
@@ -168,6 +242,22 @@ class Engine:
             return self.config.horizon
         return self._last_submit
 
+    def _fault_until(self) -> float:
+        """End of the fault-sampling window.
+
+        Failures are injected while the workload is active: up to the
+        hard stop, the horizon, or the last native submission —
+        whichever is latest among those configured.  Work running past
+        that point winds down crash-free (an unbounded tail cannot be
+        pre-sampled).
+        """
+        candidates = [self._last_submit]
+        if self.config.horizon is not None:
+            candidates.append(self.config.horizon)
+        if self.config.until is not None:
+            candidates.append(self.config.until)
+        return max(candidates)
+
     def _handle(self, event, t: float, wake_until: float) -> None:
         if event.kind is EventKind.SUBMIT:
             job: Job = event.payload
@@ -175,9 +265,12 @@ class Engine:
             self.scheduler.submit(job, t)
         elif event.kind is EventKind.FINISH:
             job = event.payload
-            if job.state is JobState.KILLED:
-                return  # preempted earlier; its CPUs are already free
+            if job.state is not JobState.RUNNING:
+                return  # preempted or fault-killed; CPUs already free
+            if self._expected_finish.get(job.job_id) != event.time:
+                return  # stale completion of a killed, retried incarnation
             self.cluster.finish(job)
+            self._expected_finish.pop(job.job_id, None)
             job.finish_time = t
             job.state = JobState.FINISHED
             self.scheduler.on_finish(job, t)
@@ -186,6 +279,19 @@ class Engine:
             self.cluster.down_cpus += int(event.payload)
             if self.cluster.down_cpus < 0:
                 raise SimulationError("negative down CPU count")
+        elif event.kind is EventKind.FAILURE:
+            self._apply_failure(int(event.payload), t)
+        elif event.kind is EventKind.REPAIR:
+            self.cluster.failed_cpus -= int(event.payload)
+            if self.cluster.failed_cpus < 0:
+                raise SimulationError("negative failed CPU count")
+        elif event.kind is EventKind.RESUBMIT:
+            job = event.payload
+            self._awaiting_retry.pop(job.job_id, None)
+            job.state = JobState.QUEUED
+            job.start_time = None
+            job.finish_time = None
+            self.scheduler.submit(job, t)
         elif event.kind is EventKind.WAKE:
             # Periodic wake-ups re-arm themselves within their window;
             # stall-recovery wakes (pushed by the main loop) do not.
@@ -194,6 +300,89 @@ class Engine:
                 self.events.push(t + interval, EventKind.WAKE, None)
         else:  # pragma: no cover - exhaustive
             raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _apply_failure(self, cpus: int, t: float) -> None:
+        """Crash ``cpus`` processors: remove them from service and kill
+        the jobs running on them.
+
+        Placement is not tracked, so which running work the failed CPUs
+        were hosting is drawn from the model's seeded victim stream: the
+        number of *busy* CPUs among the failed ones is hypergeometric in
+        (busy, idle) in-service counts, and each busy hit belongs to a
+        running job with probability proportional to its width.  A job
+        is killed whole — losing one CPU of a wide job kills the job —
+        so a single narrow failure can release more capacity than it
+        took down.
+        """
+        in_service = self.cluster.available_cpus
+        self.cluster.failed_cpus += cpus
+        self._n_failures += 1
+        if self._victim_rng is None:
+            raise SimulationError("FAILURE event without a fault model")
+        busy_eff = min(self.cluster.busy_cpus, in_service)
+        idle_eff = in_service - busy_eff
+        sample = min(cpus, in_service)
+        if sample <= 0 or busy_eff <= 0:
+            hits = 0
+        else:
+            hits = int(
+                self._victim_rng.hypergeometric(busy_eff, idle_eff, sample)
+            )
+        interstitial_victims: List[Job] = []
+        while hits > 0 and self.cluster.running:
+            recs = sorted(
+                self.cluster.running.values(), key=lambda r: r.job.job_id
+            )
+            widths = np.array([rec.job.cpus for rec in recs], dtype=float)
+            index = int(
+                self._victim_rng.choice(len(recs), p=widths / widths.sum())
+            )
+            victim = recs[index].job
+            hits -= min(hits, victim.cpus)
+            self.cluster.finish(victim)
+            self._expected_finish.pop(victim.job_id, None)
+            victim.state = JobState.KILLED
+            victim.finish_time = t
+            if victim.is_interstitial:
+                self._killed.append(victim)
+                interstitial_victims.append(victim)
+            else:
+                self._requeue_native(victim, t)
+        if self.interstitial is not None:
+            if interstitial_victims:
+                self.interstitial.on_preempted(interstitial_victims, t)
+            self.interstitial.on_fault(t, cpus)
+
+    def _requeue_native(self, job: Job, t: float) -> None:
+        """Record the wasted run fragment of a fault-killed native job
+        and resubmit it per the retry policy (or dead-letter it)."""
+        fragment = job.copy_unscheduled()
+        fragment.state = JobState.KILLED
+        fragment.start_time = job.start_time
+        fragment.finish_time = t
+        self._killed.append(fragment)
+        attempts = self._attempts.get(job.job_id, 0) + 1
+        self._attempts[job.job_id] = attempts
+        if self.retry is None or not self.retry.allows(attempts):
+            self._dead_lettered.append(job)
+            return
+        self._awaiting_retry[job.job_id] = job
+        self.events.push(
+            t + self.retry.delay(attempts), EventKind.RESUBMIT, job
+        )
+
+    def _check_invariants(self, t: float) -> None:
+        """Post-batch consistency check (``check_invariants`` mode)."""
+        self.cluster.check_invariants(t)
+        next_time = self.events.peek_time()
+        if next_time is not None and next_time < t:
+            raise SimulationError(
+                f"pending event at {next_time} is earlier than the "
+                f"current time {t}"
+            )
 
     def _scheduling_pass(self, t: float) -> None:
         """One pass: native policy to quiescence, then (optionally)
@@ -244,12 +433,16 @@ class Engine:
             if freed >= deficit:
                 break
             self.cluster.finish(rec.job)
+            self._expected_finish.pop(rec.job.job_id, None)
             rec.job.state = JobState.KILLED
             rec.job.finish_time = t
             killed.append(rec.job)
             freed += rec.job.cpus
         self._killed.extend(killed)
-        assert self.interstitial is not None
+        if self.interstitial is None:
+            raise SimulationError(
+                "preempted interstitial jobs without an interstitial source"
+            )
         self.interstitial.on_preempted(killed, t)
         return True
 
@@ -257,13 +450,15 @@ class Engine:
         self.cluster.start(job, t)
         job.start_time = t
         job.state = JobState.RUNNING
-        self.events.push(t + job.runtime, EventKind.FINISH, job)
+        event = self.events.push(t + job.runtime, EventKind.FINISH, job)
+        self._expected_finish[job.job_id] = event.time
 
     def _collect(self, t: float) -> SimResult:
         unfinished: List[Job] = [
             rec.job for rec in self.cluster.running.values()
         ]
         unfinished.extend(self.scheduler.pending_jobs())
+        unfinished.extend(self._awaiting_retry.values())
         return SimResult(
             machine=self.machine,
             finished=self._finished,
@@ -272,4 +467,8 @@ class Engine:
             end_time=t,
             horizon=self.config.horizon,
             outages=self.outages,
+            attempts=dict(self._attempts),
+            dead_lettered=self._dead_lettered,
+            fault_transitions=tuple(self._fault_transitions),
+            n_failures=self._n_failures,
         )

@@ -19,16 +19,28 @@ from repro.errors import SimulationError
 
 
 class EventKind(enum.IntEnum):
-    """Kinds of simulator events, in tie-break priority order."""
+    """Kinds of simulator events, in tie-break priority order.
+
+    Capacity changes (OUTAGE, FAILURE, REPAIR) process before job
+    completions so a scheduling pass at time *t* sees the capacity that
+    is actually in service at *t*; FINISH before SUBMIT so capacity
+    freed at *t* is visible to jobs submitted at *t*.
+    """
 
     #: A machine partition goes down or comes back (payload: cpu delta).
     OUTAGE = 0
+    #: Nodes crash, killing the jobs on them (payload: failed cpus).
+    FAILURE = 1
+    #: Crashed nodes return to service (payload: repaired cpus).
+    REPAIR = 2
     #: A running job completes (payload: the job).
-    FINISH = 1
+    FINISH = 3
     #: A job arrives in the queue (payload: the job).
-    SUBMIT = 2
+    SUBMIT = 4
+    #: A fault-killed native job re-enters the queue (payload: the job).
+    RESUBMIT = 5
     #: A periodic scheduler wake-up with no payload.
-    WAKE = 3
+    WAKE = 6
 
 
 @dataclass(frozen=True, order=True)

@@ -9,7 +9,7 @@ and makespans without re-running anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.jobs import Job, JobKind
 from repro.machines import Machine
@@ -41,9 +41,10 @@ class SimResult:
         Jobs still running or queued when the run was truncated by
         ``until`` (empty for full runs).
     killed:
-        Interstitial jobs preempted for native work (preemptible-mode
-        ablation only); their partial occupancy counts as busy time but
-        their work was wasted.
+        Jobs (or run fragments) whose work was wasted: interstitial
+        jobs preempted for native work or killed by node failures, and
+        the partial runs of fault-killed natives awaiting retry.  Their
+        partial occupancy counts as busy time.
     end_time:
         Time of the last processed event.
     horizon:
@@ -51,6 +52,17 @@ class SimResult:
         otherwise ``end_time``.  Utilization averages use ``[0, horizon]``.
     outages:
         The outage schedule that was in force.
+    attempts:
+        Per-job fault-retry counters (job_id -> times the job was
+        killed by a node failure); only jobs hit at least once appear.
+    dead_lettered:
+        Native jobs abandoned after exhausting the
+        :class:`~repro.faults.RetryPolicy` attempt budget.
+    fault_transitions:
+        (time, cpu-delta) pairs of the compiled fault schedule, merged
+        into :meth:`down_profile` alongside the outage transitions.
+    n_failures:
+        Number of FAILURE events processed.
     """
 
     machine: Machine
@@ -60,6 +72,10 @@ class SimResult:
     end_time: float = 0.0
     horizon: Optional[float] = None
     outages: OutageSchedule = field(default_factory=OutageSchedule)
+    attempts: Dict[int, int] = field(default_factory=dict)
+    dead_lettered: List[Job] = field(default_factory=list)
+    fault_transitions: Sequence[Tuple[float, int]] = ()
+    n_failures: int = 0
 
     # ------------------------------------------------------------------
     # Job views
@@ -113,8 +129,11 @@ class SimResult:
         return StepFunction.from_deltas(times, deltas, base=0.0)
 
     def down_profile(self) -> StepFunction:
-        """Down-CPU step function from the outage schedule."""
-        transitions = self.outages.transitions()
+        """Down-CPU step function from the outage schedule plus any
+        fault-injected crash windows."""
+        transitions = list(self.outages.transitions())
+        transitions.extend(self.fault_transitions)
+        transitions.sort()
         return StepFunction.from_deltas(
             [t for t, _ in transitions], [d for _, d in transitions], base=0.0
         )

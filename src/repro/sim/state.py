@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.errors import CapacityError, SchedulingError
-from repro.jobs import Job
+from repro.errors import CapacityError, SchedulingError, SimulationError
+from repro.jobs import Job, JobState
 from repro.machines import Machine
 
 
@@ -41,8 +41,12 @@ class ClusterState:
         self.machine = machine
         self.running: Dict[int, RunningJob] = {}
         self.busy_cpus: int = 0
-        #: CPUs removed from service by outages (see repro.sim.outages).
+        #: CPUs removed from service by drain-style outages (see
+        #: repro.sim.outages); running jobs survive these.
         self.down_cpus: int = 0
+        #: CPUs removed from service by node crashes (see repro.faults);
+        #: the jobs running on them were killed.
+        self.failed_cpus: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -52,8 +56,12 @@ class ClusterState:
 
     @property
     def available_cpus(self) -> int:
-        """CPUs in service right now (total minus down)."""
-        return self.total_cpus - self.down_cpus
+        """CPUs in service right now (total minus down minus failed).
+
+        Clamped at zero: an outage window overlapping a burst of node
+        failures can nominally take down more capacity than exists.
+        """
+        return max(0, self.total_cpus - self.down_cpus - self.failed_cpus)
 
     @property
     def free_cpus(self) -> int:
@@ -136,3 +144,63 @@ class ClusterState:
             if free >= cpus:
                 return max(t, record.estimated_finish)
         return float("inf")
+
+    # ------------------------------------------------------------------
+    def check_invariants(self, t: float) -> None:
+        """Validate cluster accounting; raise :class:`SimulationError`
+        with a diagnostic snapshot on any violation.
+
+        Checked invariants:
+
+        * the busy counter equals the sum of running-job widths
+          (no double allocation, no leaked release);
+        * busy never exceeds the machine size;
+        * down/failed counters are within ``[0, total]``;
+        * free is exactly ``max(0, available - busy)``;
+        * every tracked job is in the RUNNING state.
+
+        ``busy <= available`` is deliberately *not* required: drain
+        outages let running jobs survive capacity loss, so busy may
+        exceed in-service capacity during a window.
+        """
+        problems: List[str] = []
+        width_sum = sum(rec.job.cpus for rec in self.running.values())
+        if self.busy_cpus != width_sum:
+            problems.append(
+                f"busy_cpus={self.busy_cpus} != sum of running widths "
+                f"{width_sum}"
+            )
+        if not 0 <= self.busy_cpus <= self.total_cpus:
+            problems.append(
+                f"busy_cpus={self.busy_cpus} outside [0, {self.total_cpus}]"
+            )
+        for name in ("down_cpus", "failed_cpus"):
+            value = getattr(self, name)
+            if not 0 <= value <= self.total_cpus:
+                problems.append(
+                    f"{name}={value} outside [0, {self.total_cpus}]"
+                )
+        expected_free = max(0, self.available_cpus - self.busy_cpus)
+        if self.free_cpus != expected_free:
+            problems.append(
+                f"free_cpus={self.free_cpus} != expected {expected_free}"
+            )
+        not_running = [
+            rec.job.job_id
+            for rec in self.running.values()
+            if rec.job.state is not JobState.RUNNING
+        ]
+        if not_running:
+            problems.append(
+                f"jobs tracked as running but not in RUNNING state: "
+                f"{not_running[:10]}"
+            )
+        if problems:
+            raise SimulationError(
+                f"cluster invariant violation at t={t}: "
+                + "; ".join(problems)
+                + f" [snapshot: total={self.total_cpus} "
+                f"busy={self.busy_cpus} down={self.down_cpus} "
+                f"failed={self.failed_cpus} free={self.free_cpus} "
+                f"running={len(self.running)}]"
+            )

@@ -1,0 +1,140 @@
+"""Graceful degradation: the controller's fault-rate throttle."""
+
+import math
+
+import pytest
+
+from repro.core.composite import CompositeInterstitialSource
+from repro.core.controller import InterstitialController
+from repro.errors import ConfigurationError
+from repro.jobs import InterstitialProject
+from repro.sim.state import ClusterState
+
+from tests.conftest import fcfs
+
+
+def make_controller(machine, **kwargs):
+    project = InterstitialProject(
+        n_jobs=100, cpus_per_job=2, runtime_1ghz=10.0
+    )
+    return InterstitialController(machine=machine, project=project, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self, tiny_machine):
+        with pytest.raises(ConfigurationError):
+            make_controller(tiny_machine, throttle_after_failures=0)
+
+    def test_rejects_non_positive_window(self, tiny_machine):
+        with pytest.raises(ConfigurationError):
+            make_controller(
+                tiny_machine,
+                throttle_after_failures=1,
+                throttle_window=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            make_controller(
+                tiny_machine,
+                throttle_after_failures=1,
+                throttle_quiet_period=-1.0,
+            )
+
+
+class TestOnFault:
+    def test_counts_faults_even_without_throttle(self, tiny_machine):
+        controller = make_controller(tiny_machine)
+        controller.on_fault(10.0, 4)
+        controller.on_fault(20.0, 4)
+        assert controller.n_faults_seen == 2
+        assert controller.throttled_until == -math.inf
+
+    def test_arms_after_threshold_within_window(self, tiny_machine):
+        controller = make_controller(
+            tiny_machine,
+            throttle_after_failures=2,
+            throttle_window=100.0,
+            throttle_quiet_period=50.0,
+        )
+        controller.on_fault(0.0, 4)
+        assert controller.throttled_until == -math.inf
+        controller.on_fault(10.0, 4)
+        assert controller.throttled_until == 60.0
+
+    def test_old_faults_age_out_of_window(self, tiny_machine):
+        controller = make_controller(
+            tiny_machine,
+            throttle_after_failures=2,
+            throttle_window=100.0,
+            throttle_quiet_period=50.0,
+        )
+        controller.on_fault(0.0, 4)
+        controller.on_fault(200.0, 4)  # first fault left the window
+        assert controller.throttled_until == -math.inf
+        assert controller.n_faults_seen == 2
+
+    def test_fresh_faults_extend_the_throttle(self, tiny_machine):
+        controller = make_controller(
+            tiny_machine,
+            throttle_after_failures=2,
+            throttle_window=100.0,
+            throttle_quiet_period=50.0,
+        )
+        controller.on_fault(0.0, 4)
+        controller.on_fault(10.0, 4)
+        controller.on_fault(40.0, 4)
+        assert controller.throttled_until == 90.0
+
+
+class TestOfferGate:
+    def _throttled(self, machine):
+        controller = make_controller(
+            machine,
+            throttle_after_failures=2,
+            throttle_window=100.0,
+            throttle_quiet_period=50.0,
+            record_decisions=True,
+        )
+        controller.on_fault(0.0, 4)
+        controller.on_fault(10.0, 4)  # throttled until t=60
+        return controller
+
+    def test_blocked_while_throttled(self, tiny_machine):
+        controller = self._throttled(tiny_machine)
+        cluster = ClusterState(tiny_machine)
+        assert controller.offer(30.0, cluster, fcfs()) == []
+        decision = controller.decisions[-1]
+        assert decision.reason == "fault_throttled"
+        assert decision.n_submitted == 0
+
+    def test_resumes_after_quiet_period(self, tiny_machine):
+        controller = self._throttled(tiny_machine)
+        cluster = ClusterState(tiny_machine)
+        jobs = controller.offer(60.0, cluster, fcfs())
+        assert jobs
+        assert controller.decisions[-1].reason == "submitted"
+
+    def test_unthrottled_controller_submits_during_faults(
+        self, tiny_machine
+    ):
+        # Without throttle_after_failures the fault feed is ignored.
+        controller = make_controller(tiny_machine)
+        controller.on_fault(0.0, 4)
+        controller.on_fault(1.0, 4)
+        cluster = ClusterState(tiny_machine)
+        assert controller.offer(2.0, cluster, fcfs())
+
+
+class TestCompositeForwarding:
+    def test_on_fault_reaches_every_source(self, tiny_machine):
+        a = make_controller(
+            tiny_machine,
+            throttle_after_failures=1,
+            throttle_window=10.0,
+            throttle_quiet_period=10.0,
+        )
+        b = make_controller(tiny_machine)
+        composite = CompositeInterstitialSource([a, b])
+        composite.on_fault(5.0, 4)
+        assert a.n_faults_seen == 1
+        assert b.n_faults_seen == 1
+        assert a.throttled_until == 15.0

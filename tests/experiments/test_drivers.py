@@ -19,6 +19,7 @@ from repro.experiments import (
     ablation_preemption,
     ablation_width,
     cascade_analysis,
+    fault_ablation,
     fig2,
     fig3,
     fig4,
@@ -43,7 +44,7 @@ ALL_DRIVERS = [
     fig5, fig6,
     fit_theory, ablation_caps, ablation_efficiency, ablation_estimates,
     ablation_load, ablation_predictor, ablation_preemption,
-    ablation_width, cascade_analysis,
+    ablation_width, cascade_analysis, fault_ablation,
 ]
 
 
@@ -153,3 +154,21 @@ class TestShapeClaims:
         pre = data["preemptible"]
         assert pre["wasted_cpu_h"] >= 0.0
         assert pre["n_preempted"] >= 0
+
+    def test_fault_ablation_failures_scale_with_rate(self, micro_scale):
+        data = fault_ablation.run(micro_scale).data
+        assert data["no faults"]["n_failures"] == 0
+        assert data["no faults"]["dead_lettered"] == 0
+        counts = [
+            data[label]["n_failures"]
+            for label in (
+                "MTBF 90 d/node", "MTBF 30 d/node", "MTBF 10 d/node"
+            )
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0] > 0
+        worst = data["MTBF 10 d/node"]
+        assert worst["killed_interstitial"] > 0
+        assert worst["overall_utilization"] < data["no faults"][
+            "overall_utilization"
+        ]

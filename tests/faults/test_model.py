@@ -1,0 +1,204 @@
+"""Tests for the stochastic node failure/repair model."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import DISTRIBUTIONS, FaultModel, FaultSchedule, NodeFault
+
+
+class TestNodeFault:
+    def test_duration(self):
+        assert NodeFault(10.0, 25.0, 4).duration == 15.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(FaultError):
+            NodeFault(10.0, 10.0, 4)
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(FaultError):
+            NodeFault(10.0, 5.0, 4)
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(FaultError):
+            NodeFault(0.0, 1.0, 0)
+
+    def test_rejects_non_finite_times(self):
+        with pytest.raises(FaultError):
+            NodeFault(0.0, float("inf"), 1)
+
+
+class TestFaultSchedule:
+    def test_empty(self):
+        schedule = FaultSchedule()
+        assert not schedule
+        assert len(schedule) == 0
+        assert schedule.max_concurrent_down() == 0
+        assert schedule.down_at(5.0) == 0
+        assert schedule.total_downtime_cpu_seconds() == 0.0
+
+    def test_down_at_half_open(self):
+        schedule = FaultSchedule([NodeFault(10.0, 20.0, 8)])
+        assert schedule.down_at(9.999) == 0
+        assert schedule.down_at(10.0) == 8
+        assert schedule.down_at(19.999) == 8
+        assert schedule.down_at(20.0) == 0
+
+    def test_overlap_stacks(self):
+        schedule = FaultSchedule(
+            [NodeFault(0.0, 10.0, 4), NodeFault(5.0, 15.0, 6)]
+        )
+        assert schedule.down_at(7.0) == 10
+        assert schedule.max_concurrent_down() == 10
+
+    def test_transitions_balanced_and_sorted(self):
+        schedule = FaultSchedule(
+            [NodeFault(0.0, 10.0, 4), NodeFault(5.0, 15.0, 6)]
+        )
+        transitions = schedule.transitions()
+        assert sum(d for _, d in transitions) == 0
+        assert [t for t, _ in transitions] == sorted(
+            t for t, _ in transitions
+        )
+
+    def test_total_downtime(self):
+        schedule = FaultSchedule(
+            [NodeFault(0.0, 10.0, 4), NodeFault(100.0, 110.0, 2)]
+        )
+        assert schedule.total_downtime_cpu_seconds() == 60.0
+
+    def test_abutting_windows_do_not_stack(self):
+        # Repair and the next failure at the same timestamp: the -4
+        # sorts first, so the peak never double-counts the boundary.
+        schedule = FaultSchedule(
+            [NodeFault(0.0, 10.0, 4), NodeFault(10.0, 20.0, 4)]
+        )
+        assert schedule.max_concurrent_down() == 4
+        assert schedule.down_at(10.0) == 4
+        assert list(schedule.transitions()) == [
+            (0.0, 4), (10.0, -4), (10.0, 4), (20.0, -4)
+        ]
+
+    def test_iteration_sorted(self):
+        schedule = FaultSchedule(
+            [NodeFault(50.0, 60.0, 1), NodeFault(0.0, 10.0, 1)]
+        )
+        assert [f.start for f in schedule] == [0.0, 50.0]
+
+
+class TestFaultModelValidation:
+    def test_rejects_bad_mtbf(self):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=0.0)
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=float("nan"))
+
+    def test_rejects_bad_mttr(self):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=100.0, mttr=-1.0)
+
+    def test_rejects_bad_cpus_per_node(self):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=100.0, cpus_per_node=0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=100.0, distribution="lognormal")
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=100.0, distribution="weibull", shape=0.0)
+
+    def test_distributions_registry(self):
+        assert "exponential" in DISTRIBUTIONS
+        assert "weibull" in DISTRIBUTIONS
+
+
+class TestFaultModelSampling:
+    def test_n_nodes_partitions_machine(self, small_machine):
+        assert FaultModel(mtbf=1e4, cpus_per_node=16).n_nodes(
+            small_machine
+        ) == 4
+        # A trailing partial node is ignored.
+        assert FaultModel(mtbf=1e4, cpus_per_node=48).n_nodes(
+            small_machine
+        ) == 1
+
+    def test_rejects_node_wider_than_machine(self, tiny_machine):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=1e4, cpus_per_node=16).n_nodes(tiny_machine)
+
+    def test_rejects_bad_until(self, small_machine):
+        with pytest.raises(FaultError):
+            FaultModel(mtbf=1e4).sample(small_machine, -1.0)
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_sample_windows_wellformed(self, small_machine, distribution):
+        model = FaultModel(
+            mtbf=5_000.0,
+            mttr=500.0,
+            cpus_per_node=16,
+            distribution=distribution,
+            seed=3,
+        )
+        schedule = model.sample(small_machine, 100_000.0)
+        assert schedule  # MTBF far below the horizon: failures happen
+        for fault in schedule:
+            assert 0.0 <= fault.start < 100_000.0
+            assert fault.end > fault.start
+            assert fault.cpus == 16
+        # Nodes partition the machine, so concurrent failures can never
+        # exceed its size.
+        assert schedule.max_concurrent_down() <= small_machine.cpus
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_sample_deterministic_in_seed(self, small_machine, distribution):
+        kwargs = dict(
+            mtbf=5_000.0,
+            mttr=500.0,
+            cpus_per_node=8,
+            distribution=distribution,
+        )
+        a = FaultModel(seed=11, **kwargs).sample(small_machine, 50_000.0)
+        b = FaultModel(seed=11, **kwargs).sample(small_machine, 50_000.0)
+        assert [(f.start, f.end, f.cpus) for f in a] == [
+            (f.start, f.end, f.cpus) for f in b
+        ]
+
+    def test_sample_varies_with_seed(self, small_machine):
+        kwargs = dict(mtbf=5_000.0, mttr=500.0, cpus_per_node=8)
+        a = FaultModel(seed=1, **kwargs).sample(small_machine, 50_000.0)
+        b = FaultModel(seed=2, **kwargs).sample(small_machine, 50_000.0)
+        assert [(f.start, f.end) for f in a] != [(f.start, f.end) for f in b]
+
+    def test_failure_count_near_renewal_rate(self, small_machine):
+        model = FaultModel(mtbf=2_000.0, mttr=200.0, cpus_per_node=4, seed=0)
+        until = 200_000.0
+        schedule = model.sample(small_machine, until)
+        expected = model.expected_failures(small_machine, until)
+        assert expected == pytest.approx(
+            small_machine.cpus / 4 * until / 2_200.0
+        )
+        # Renewal theory gives the mean; a 40% band is generous enough
+        # to be seed-stable while still catching rate bugs.
+        assert 0.6 * expected < len(schedule) < 1.4 * expected
+
+    def test_weibull_mean_calibrated_to_mtbf(self, small_machine):
+        """The Weibull scale is chosen so the mean TBF equals mtbf, so
+        exponential and Weibull models produce similar failure counts."""
+        kwargs = dict(mtbf=2_000.0, mttr=200.0, cpus_per_node=4, seed=0)
+        exp = FaultModel(distribution="exponential", **kwargs)
+        wei = FaultModel(distribution="weibull", shape=1.5, **kwargs)
+        n_exp = len(exp.sample(small_machine, 200_000.0))
+        n_wei = len(wei.sample(small_machine, 200_000.0))
+        assert 0.7 * n_exp < n_wei < 1.3 * n_exp
+
+    def test_victim_rng_independent_and_deterministic(self):
+        model = FaultModel(mtbf=1e4, seed=42)
+        a = model.victim_rng().integers(0, 2**31, size=8)
+        b = model.victim_rng().integers(0, 2**31, size=8)
+        assert (a == b).all()
+        # Different seeds give different victim streams.
+        c = FaultModel(mtbf=1e4, seed=43).victim_rng().integers(
+            0, 2**31, size=8
+        )
+        assert (a != c).any()

@@ -1,0 +1,66 @@
+"""Tests for the retry/backoff policy."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    def test_rejects_negative_attempts(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=-1)
+
+    def test_rejects_negative_base_delay(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(base_delay=100.0, max_delay=50.0)
+
+
+class TestAllows:
+    def test_bounded_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1)
+        assert policy.allows(3)
+        assert not policy.allows(4)
+
+    def test_zero_attempts_always_dead_letters(self):
+        assert not RetryPolicy(max_attempts=0).allows(1)
+
+    def test_none_retries_forever(self):
+        assert RetryPolicy(max_attempts=None).allows(10**9)
+
+
+class TestDelay:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            base_delay=10.0, backoff_factor=2.0, max_delay=1e9
+        )
+        assert policy.delay(1) == 10.0
+        assert policy.delay(2) == 20.0
+        assert policy.delay(4) == 80.0
+
+    def test_capped(self):
+        policy = RetryPolicy(
+            base_delay=10.0, backoff_factor=2.0, max_delay=35.0
+        )
+        assert policy.delay(3) == 35.0
+        assert policy.delay(10) == 35.0
+
+    def test_flat_backoff(self):
+        policy = RetryPolicy(base_delay=60.0, backoff_factor=1.0)
+        assert policy.delay(5) == 60.0
+
+    def test_rejects_non_positive_attempt(self):
+        with pytest.raises(FaultError):
+            RetryPolicy().delay(0)

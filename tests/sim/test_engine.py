@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.errors import ConfigurationError
 from repro.jobs import JobState
 from repro.machines import Machine
+from repro.sched import FcfsPolicy, QueueScheduler, TimeOfDayPolicy
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.outages import Outage, OutageSchedule
 
@@ -138,6 +139,62 @@ class TestOutages:
                 fcfs(),
                 outages=OutageSchedule([Outage(0.0, 1.0, 9)]),
             )
+
+    def test_abutting_outages_block_until_last_ends(self, tiny_machine):
+        # Back-to-back windows sharing a timestamp: the same-batch
+        # release and take must net out, never opening a zero-length
+        # gap the scheduler could start work in.
+        outages = OutageSchedule(
+            [Outage(0.0, 50.0, 8), Outage(50.0, 100.0, 8)]
+        )
+        job = make_job(cpus=8, runtime=10.0, submit=5.0)
+        Engine(tiny_machine, fcfs(), trace=[job], outages=outages).run()
+        assert job.start_time == 100.0
+
+    def test_stacked_outages_release_in_steps(self, tiny_machine):
+        # Two overlapping windows take the whole machine until the
+        # inner one lifts at t=30, when 4 CPUs return to service.
+        outages = OutageSchedule(
+            [Outage(0.0, 60.0, 4), Outage(0.0, 30.0, 4)]
+        )
+        narrow = make_job(cpus=4, runtime=5.0, submit=10.0)
+        wide = make_job(cpus=8, runtime=5.0, submit=10.0)
+        Engine(
+            tiny_machine, fcfs(), trace=[narrow, wide], outages=outages
+        ).run()
+        assert narrow.start_time == 30.0
+        assert wide.start_time == 60.0
+
+
+class TestStallRecovery:
+    def _held_scheduler(self):
+        # Jobs wider than 4 CPUs may only start outside 07:00-19:00;
+        # t=0 is Monday 00:00.
+        return QueueScheduler(
+            policy=FcfsPolicy(), timeofday=TimeOfDayPolicy(max_day_cpus=4)
+        )
+
+    def test_wake_drains_timeofday_held_queue(self, tiny_machine):
+        # A wide job submitted Monday 08:00 is held by the time-of-day
+        # policy with no further events pending; the engine must wake
+        # itself until the night window opens at 19:00.
+        job = make_job(cpus=8, runtime=100.0, submit=8 * 3600.0)
+        result = Engine(
+            tiny_machine, self._held_scheduler(), trace=[job]
+        ).run()
+        assert job.start_time == 19 * 3600.0
+        assert not result.unfinished
+        assert len(result.finished) == 1
+
+    def test_stall_wake_honors_wake_interval(self, tiny_machine):
+        job = make_job(cpus=8, runtime=100.0, submit=8 * 3600.0)
+        Engine(
+            tiny_machine,
+            self._held_scheduler(),
+            trace=[job],
+            config=SimConfig(wake_interval=1800.0),
+        ).run()
+        assert job.start_time == 19 * 3600.0
 
 
 class TestUntil:

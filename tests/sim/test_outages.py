@@ -66,3 +66,33 @@ class TestSchedule:
         )
         starts = [o.start for o in schedule]
         assert starts == [0.0, 50.0]
+
+
+class TestEdgeCases:
+    def test_abutting_windows_do_not_stack(self):
+        # One window ends exactly where the next starts: the release
+        # (-4) sorts before the take (+4) at the shared timestamp, so
+        # the peak never double-counts the boundary instant.
+        schedule = OutageSchedule(
+            [Outage(0.0, 10.0, 4), Outage(10.0, 20.0, 4)]
+        )
+        assert schedule.max_down() == 4
+        assert schedule.down_at(10.0) == 4
+        assert schedule.transitions() == [
+            (0.0, 4), (10.0, -4), (10.0, 4), (20.0, -4)
+        ]
+
+    def test_stacked_identical_windows(self):
+        schedule = OutageSchedule([Outage(5.0, 15.0, 3)] * 3)
+        assert schedule.max_down() == 9
+        assert schedule.down_at(10.0) == 9
+        assert schedule.total_downtime_cpu_seconds() == 90.0
+
+    def test_nested_windows(self):
+        schedule = OutageSchedule(
+            [Outage(0.0, 100.0, 2), Outage(40.0, 60.0, 5)]
+        )
+        assert schedule.down_at(39.0) == 2
+        assert schedule.down_at(50.0) == 7
+        assert schedule.max_down() == 7
+        assert schedule.total_downtime_cpu_seconds() == 300.0
