@@ -7,8 +7,8 @@ grow monotonically in the cap, bounded by the uncapped run.
 from repro.experiments import ablation_caps
 
 
-def bench_ablation_caps(run_and_show, scale):
-    result = run_and_show(ablation_caps, scale)
+def bench_ablation_caps(run_and_show, ctx):
+    result = run_and_show(ablation_caps, ctx)
     data = result.data
     caps = ["82%", "86%", "90%", "94%", "98%"]
     jobs = [data[c]["interstitial_jobs"] for c in caps]

@@ -9,8 +9,8 @@ natives, which is bounded).
 from repro.experiments import ablation_efficiency
 
 
-def bench_ablation_efficiency(run_and_show, scale):
-    result = run_and_show(ablation_efficiency, scale)
+def bench_ablation_efficiency(run_and_show, ctx):
+    result = run_and_show(ablation_efficiency, ctx)
     for machine, data in result.data.items():
         assert data["bound"] > 0, machine
         assert 0.6 <= data["efficiency"] <= 1.5, (machine, data)

@@ -9,8 +9,8 @@ across regimes (the Figure-1 gate adapts).
 from repro.experiments import ablation_estimates
 
 
-def bench_ablation_estimates(run_and_show, scale):
-    result = run_and_show(ablation_estimates, scale)
+def bench_ablation_estimates(run_and_show, ctx):
+    result = run_and_show(ablation_estimates, ctx)
     data = result.data
     assert (
         data["perfect"]["median_wait_all_s"]

@@ -11,8 +11,8 @@ increases blowing waits up super-linearly.
 from repro.experiments import ablation_load
 
 
-def bench_ablation_load(run_and_show, scale):
-    result = run_and_show(ablation_load, scale)
+def bench_ablation_load(run_and_show, ctx):
+    result = run_and_show(ablation_load, ctx)
     data = result.data
     native_only = [v for k, v in data.items() if k.startswith("native:")]
     boosted = data["interstitial"]

@@ -8,8 +8,8 @@ and both configurations sustain substantial interstitial throughput.
 from repro.experiments import ablation_predictor
 
 
-def bench_ablation_predictor(run_and_show, scale):
-    result = run_and_show(ablation_predictor, scale)
+def bench_ablation_predictor(run_and_show, ctx):
+    result = run_and_show(ablation_predictor, ctx)
     data = result.data
     raw = data["raw user estimates"]
     predicted = data["EWMA predictor"]

@@ -8,8 +8,8 @@ CPU-time.
 from repro.experiments import ablation_preemption
 
 
-def bench_ablation_preemption(run_and_show, scale):
-    result = run_and_show(ablation_preemption, scale)
+def bench_ablation_preemption(run_and_show, ctx):
+    result = run_and_show(ablation_preemption, ctx)
     data = result.data
     baseline = data["native_baseline"]
     nonpre = data["non-preemptive (paper)"]

@@ -11,8 +11,8 @@ import math
 from repro.experiments import ablation_width
 
 
-def bench_ablation_width(run_and_show, scale):
-    result = run_and_show(ablation_width, scale)
+def bench_ablation_width(run_and_show, ctx):
+    result = run_and_show(ablation_width, ctx)
     data = result.data
     widths = sorted(data)
     theories = [data[w]["theory_breakage"] for w in widths]

@@ -9,8 +9,8 @@ from repro.experiments import cascade_analysis
 from repro.experiments.continual_tables import CONTINUAL_RUNTIMES_1GHZ
 
 
-def bench_cascade_analysis(run_and_show, scale):
-    result = run_and_show(cascade_analysis, scale)
+def bench_cascade_analysis(run_and_show, ctx):
+    result = run_and_show(cascade_analysis, ctx)
     for runtime in CONTINUAL_RUNTIMES_1GHZ:
         report = result.data[runtime]["report"]
         assert report.cascade_fraction < 0.5  # a minority of jobs...

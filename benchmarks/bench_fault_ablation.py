@@ -9,8 +9,8 @@ natives are retried per the RetryPolicy.
 from repro.experiments import fault_ablation
 
 
-def bench_fault_ablation(run_and_show, scale):
-    result = run_and_show(fault_ablation, scale)
+def bench_fault_ablation(run_and_show, ctx):
+    result = run_and_show(fault_ablation, ctx)
     data = result.data
     baseline = data["no faults"]
     worst = data["MTBF 10 d/node"]

@@ -10,8 +10,8 @@ import numpy as np
 from repro.experiments import fig2
 
 
-def bench_fig2(run_and_show, scale):
-    result = run_and_show(fig2, scale)
+def bench_fig2(run_and_show, ctx):
+    result = run_and_show(fig2, ctx)
     points = result.data["points_1cpu"] + result.data["points_32cpu"]
     theory = np.array([t for t, _ in points])
     actual = np.array([a for _, a in points])

@@ -10,8 +10,8 @@ import numpy as np
 from repro.experiments import fig3
 
 
-def bench_fig3(run_and_show, scale):
-    result = run_and_show(fig3, scale)
+def bench_fig3(run_and_show, ctx):
+    result = run_and_show(fig3, ctx)
     for label, series in result.data.items():
         samples = np.asarray(series["samples_s"])
         if samples.size < 10:

@@ -10,8 +10,8 @@ import numpy as np
 from repro.experiments import fig4
 
 
-def bench_fig4(run_and_show, scale):
-    result = run_and_show(fig4, scale)
+def bench_fig4(run_and_show, ctx):
+    result = run_and_show(fig4, ctx)
     without = np.asarray(
         result.data["without interstitial"]["utilization"]
     )

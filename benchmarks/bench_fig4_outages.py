@@ -8,8 +8,8 @@ drops to near 0 and the half-machine day to roughly half.
 from repro.experiments import fig4_outages
 
 
-def bench_fig4_outages(run_and_show, scale):
-    result = run_and_show(fig4_outages, scale)
+def bench_fig4_outages(run_and_show, ctx):
+    result = run_and_show(fig4_outages, ctx)
     data = result.data
     assert data["outside outages"] > 0.9
     assert data["full outage day"] < 0.3

@@ -10,8 +10,8 @@ import pytest
 from repro.experiments import fig5
 
 
-def bench_fig5(run_and_show, scale):
-    result = run_and_show(fig5, scale)
+def bench_fig5(run_and_show, ctx):
+    result = run_and_show(fig5, ctx)
     data = result.data
     labels = list(data)
     for hist in data.values():

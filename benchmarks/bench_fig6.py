@@ -15,13 +15,13 @@ def mean_bin(hist):
     return float(np.average(np.arange(len(hist)), weights=hist))
 
 
-def bench_fig6(run_and_show, scale):
-    result = run_and_show(fig6, scale)
+def bench_fig6(run_and_show, ctx):
+    result = run_and_show(fig6, ctx)
     data = result.data
     labels = list(data)
     for hist in data.values():
         assert sum(hist) == pytest.approx(1.0)
-    all_jobs = fig5.run(scale).data
+    all_jobs = fig5.run(ctx).data
     for label in labels[1:]:
         # Large jobs wait in higher bins than the population at large.
         assert mean_bin(data[label]) >= mean_bin(all_jobs[label]) - 0.5

@@ -7,8 +7,8 @@ paper's, slope above 1 (dispersion + breakage) and a strong fit.
 from repro.experiments import fit_theory
 
 
-def bench_fit_theory(run_and_show, scale):
-    result = run_and_show(fit_theory, scale)
+def bench_fit_theory(run_and_show, ctx):
+    result = run_and_show(fit_theory, ctx)
     fit = result.data["fit"]
     assert fit.slope > 0.8
     assert fit.r_squared > 0.5

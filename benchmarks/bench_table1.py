@@ -11,8 +11,8 @@ import pytest
 from repro.experiments import table1
 
 
-def bench_table1(run_and_show, scale):
-    result = run_and_show(table1, scale)
+def bench_table1(run_and_show, ctx):
+    result = run_and_show(table1, ctx)
     data = result.data
     for machine in ("ross", "blue_mountain", "blue_pacific"):
         assert data[machine]["offered_utilization"] == pytest.approx(

@@ -10,8 +10,8 @@ import numpy as np
 from repro.experiments import table2
 
 
-def bench_table2(run_and_show, scale):
-    result = run_and_show(table2, scale)
+def bench_table2(run_and_show, ctx):
+    result = run_and_show(table2, ctx)
     points = result.data["points"]
     # Growth in project size per (machine, width) series: the largest
     # project always outlasts the smallest (interior points can wobble

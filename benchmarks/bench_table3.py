@@ -12,8 +12,8 @@ import pytest
 from repro.experiments import table3
 
 
-def bench_table3(run_and_show, scale):
-    result = run_and_show(table3, scale)
+def bench_table3(run_and_show, ctx):
+    result = run_and_show(table3, ctx)
     theory = result.data["theory_paper_u"]
     assert theory["ross"] == pytest.approx(1.035, abs=0.001)
     assert theory["blue_mountain"] == pytest.approx(1.020, abs=0.001)

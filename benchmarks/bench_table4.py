@@ -10,8 +10,8 @@ import numpy as np
 from repro.experiments import table4
 
 
-def bench_table4(run_and_show, scale):
-    result = run_and_show(table4, scale)
+def bench_table4(run_and_show, ctx):
+    result = run_and_show(table4, ctx)
     samples = result.data["samples"]
 
     def mean(machine, peta, kjobs, cpus, runtime):

@@ -9,8 +9,8 @@ wait.
 from repro.experiments import table5
 
 
-def bench_table5(run_and_show, scale):
-    result = run_and_show(table5, scale)
+def bench_table5(run_and_show, ctx):
+    result = run_and_show(table5, ctx)
     all_stats = result.data["all"]
     big_stats = result.data["largest5"]
     labels = list(all_stats)

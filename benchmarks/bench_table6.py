@@ -10,8 +10,8 @@ import pytest
 from repro.experiments import table6
 
 
-def bench_table6(run_and_show, scale):
-    result = run_and_show(table6, scale)
+def bench_table6(run_and_show, ctx):
+    result = run_and_show(table6, ctx)
     cols = result.data["columns"]
     labels = list(cols)
     baseline, short, long_ = (cols[label] for label in labels)

@@ -9,13 +9,13 @@ preserved.
 from repro.experiments import table6, table7
 
 
-def bench_table7(run_and_show, scale):
-    result = run_and_show(table7, scale)
+def bench_table7(run_and_show, ctx):
+    result = run_and_show(table7, ctx)
     cols = result.data["columns"]
     labels = list(cols)
     baseline, short, long_ = (cols[label] for label in labels)
     bp_gain = short["overall_utilization"] - baseline["overall_utilization"]
-    bm_cols = table6.run(scale).data["columns"]
+    bm_cols = table6.run(ctx).data["columns"]
     bm_labels = list(bm_cols)
     bm_gain = (
         bm_cols[bm_labels[1]]["overall_utilization"]

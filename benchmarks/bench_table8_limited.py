@@ -9,8 +9,8 @@ rise monotonically with the cap and stay below the uncapped run; the
 from repro.experiments import table8_limited
 
 
-def bench_table8_limited(run_and_show, scale):
-    result = run_and_show(table8_limited, scale)
+def bench_table8_limited(run_and_show, ctx):
+    result = run_and_show(table8_limited, ctx)
     cols = result.data["columns"]
     caps = ["util < 90%", "util < 95%", "util < 98%"]
     jobs = [cols[c]["interstitial_jobs"] for c in caps]

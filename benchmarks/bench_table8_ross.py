@@ -9,8 +9,8 @@ jobs inflate the 5%-largest median wait more than the short ones
 from repro.experiments import table8_ross
 
 
-def bench_table8_ross(run_and_show, scale):
-    result = run_and_show(table8_ross, scale)
+def bench_table8_ross(run_and_show, ctx):
+    result = run_and_show(table8_ross, ctx)
     cols = result.data["columns"]
     labels = list(cols)
     baseline, short, long_ = (cols[label] for label in labels)

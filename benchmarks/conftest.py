@@ -7,17 +7,24 @@ table so ``pytest benchmarks/ --benchmark-only`` output can be compared
 with the paper side by side.
 
 Scale is controlled by ``REPRO_BENCH_SCALE`` (quick / default / paper);
-see ``repro.experiments.config``.  Drivers share process-level caches
-(traces, native baselines, continual runs), so later benches reusing an
-earlier bench's continual log report only their incremental cost — that
-sharing mirrors the paper's own §4.3.1 methodology.
+see ``repro.experiments.config``.  All benches share one session
+:class:`~repro.experiments.context.RunContext`, so later benches
+reusing an earlier bench's continual log report only their incremental
+cost — that sharing mirrors the paper's own §4.3.1 methodology.  Set
+``REPRO_STORE_DIR`` to back the context with an on-disk run store and
+share simulations across bench sessions (and with ``repro report
+--store``) as well.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.config import current_scale
+from repro.experiments.context import RunContext
+from repro.store import RunStore
 
 
 @pytest.fixture(scope="session")
@@ -26,13 +33,21 @@ def scale():
     return current_scale()
 
 
+@pytest.fixture(scope="session")
+def ctx(scale):
+    """Session-wide run context; all benches share its run store."""
+    return RunContext(
+        scale=scale, store=RunStore(os.environ.get("REPRO_STORE_DIR"))
+    )
+
+
 @pytest.fixture
 def run_and_show(benchmark, capsys):
     """Run a driver under the benchmark timer and print its table."""
 
-    def _run(driver, scale):
+    def _run(driver, ctx):
         result = benchmark.pedantic(
-            driver.run, args=(scale,), rounds=1, iterations=1
+            driver.run, args=(ctx,), rounds=1, iterations=1
         )
         with capsys.disabled():
             print()

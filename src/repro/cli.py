@@ -3,13 +3,17 @@
 * ``repro <experiment> [--scale NAME]`` — run one experiment (or
   ``all``) and print its paper-style table;
 * ``repro list`` — enumerate the available experiments;
-* ``repro report [--scale NAME] [--output PATH]`` — regenerate every
-  table and figure into one markdown report.
+* ``repro report [--scale NAME] [--output PATH] [--jobs N]`` —
+  regenerate every table and figure into one markdown report, fanning
+  out over N worker processes.
 
-``--check-invariants`` runs every simulation with the engine's
-accounting validator enabled (see ``SimConfig.check_invariants``) —
-slower, but any cluster-state inconsistency aborts with a diagnostic
-snapshot instead of corrupting results silently.
+``--store DIR`` persists every simulation run content-addressed under
+DIR, so repeated invocations (and parallel workers) reuse each other's
+results.  ``--check-invariants`` runs every simulation with the
+engine's accounting validator enabled (see
+``SimConfig.check_invariants``) — slower, but any cluster-state
+inconsistency aborts with a diagnostic snapshot instead of corrupting
+results silently.
 """
 
 from __future__ import annotations
@@ -18,9 +22,10 @@ import argparse
 import sys
 
 from repro.experiments.config import SCALES, current_scale
+from repro.experiments.context import RunContext
 from repro.experiments.registry import EXPERIMENTS, REPORT_ORDER
 from repro.experiments.report import write_report
-from repro.sim.engine import set_default_invariant_checking
+from repro.store import RunStore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +57,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for 'report' (default: repro_report.md)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for 'report' (default 1 = serial; the "
+            "report is byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the content-addressed run store (default: "
+            "in-memory only; parallel reports use a temporary one)"
+        ),
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help=(
@@ -65,15 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    if args.check_invariants:
-        set_default_invariant_checking(True)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
     scale = SCALES[args.scale] if args.scale else current_scale()
+    ctx = RunContext(
+        scale=scale,
+        store=RunStore(args.store),
+        check_invariants=args.check_invariants,
+    )
     if args.experiment == "report":
-        path = write_report(args.output, scale=scale)
+        path = write_report(args.output, ctx=ctx, jobs=max(1, args.jobs))
         print(f"wrote {path}")
         return 0
     names = (
@@ -81,7 +108,7 @@ def main(argv=None) -> int:
         else [args.experiment]
     )
     for name in names:
-        result = EXPERIMENTS[name](scale)
+        result = EXPERIMENTS[name](ctx)
         print(result.render())
         print()
     return 0

@@ -3,7 +3,10 @@
 These wrap machine presets, scheduler construction, trace copying and
 the engine into the handful of configurations the paper evaluates.  All
 runners copy the input trace so the same trace can be replayed through
-many configurations.
+many configurations, and all accept ``check_invariants`` so callers
+(e.g. a :class:`~repro.experiments.context.RunContext` honouring the
+CLI's ``--check-invariants``) can enable the engine's accounting
+validator without any process-global switch.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 
 from repro.core.controller import InterstitialController
 from repro.core.omniscient import OmniscientPacking, pack_project
+from repro.errors import ConfigurationError
 from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import InterstitialProject, Job
 from repro.machines import Machine
@@ -40,6 +44,7 @@ def run_native(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> SimResult:
     """Replay the native trace with no interstitial jobs (the baseline
     every experiment compares against)."""
@@ -50,7 +55,7 @@ def run_native(
         outages=outages,
         faults=faults,
         retry=retry,
-        config=SimConfig(horizon=horizon),
+        config=SimConfig(horizon=horizon, check_invariants=check_invariants),
     )
     return engine.run()
 
@@ -64,6 +69,7 @@ def run_with_controller(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> SimResult:
     """Replay the native trace alongside a configured interstitial
     controller (finite project, continual or limited)."""
@@ -75,7 +81,7 @@ def run_with_controller(
         outages=outages,
         faults=faults,
         retry=retry,
-        config=SimConfig(horizon=horizon),
+        config=SimConfig(horizon=horizon, check_invariants=check_invariants),
     )
     return engine.run()
 
@@ -90,6 +96,7 @@ def run_continual(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> Tuple[SimResult, InterstitialController]:
     """Continual interstitial computing (§4.3.2): feed interstitial jobs
     from the start of the run until ``horizon`` (default: last native
@@ -111,6 +118,7 @@ def run_continual(
         faults=faults,
         retry=retry,
         horizon=horizon,
+        check_invariants=check_invariants,
     )
     return result, controller
 
@@ -122,6 +130,7 @@ def run_single_project(
     start_time: float,
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
+    check_invariants: bool = False,
 ) -> Tuple[SimResult, InterstitialController]:
     """Drop one finite project into the job stream at ``start_time``
     (§4.3.1 without the continual-sampling shortcut)."""
@@ -131,7 +140,12 @@ def run_single_project(
         start_time=start_time,
     )
     result = run_with_controller(
-        machine, trace, controller, scheduler=scheduler, outages=outages
+        machine,
+        trace,
+        controller,
+        scheduler=scheduler,
+        outages=outages,
+        check_invariants=check_invariants,
     )
     return result, controller
 
@@ -145,18 +159,38 @@ def run_omniscient_samples(
     native_result: Optional[SimResult] = None,
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
+    faults: Optional[FaultModel] = None,
+    retry: Optional[RetryPolicy] = None,
+    check_invariants: bool = False,
 ) -> Tuple[np.ndarray, List[OmniscientPacking]]:
     """The §4.1 experiment: pack the project omnisciently at
     ``n_samples`` random start times within the native log; returns the
     makespans (seconds) and the packings.
 
     The (expensive) native-only simulation is run once and reused; pass
-    ``native_result`` to share it across project sizes.
+    ``native_result`` to share it across project sizes.  ``faults`` and
+    ``retry`` shape that native timeline (omniscient sampling on a
+    faulty machine); they conflict with a pre-computed ``native_result``
+    — the caller must bake the fault model into the shared run instead
+    — so passing both raises :class:`ConfigurationError` rather than
+    silently ignoring the fault model.
     """
+    if native_result is not None and (faults is not None or retry is not None):
+        raise ConfigurationError(
+            "faults/retry cannot be applied to a pre-computed "
+            "native_result; run the faulty baseline yourself (e.g. "
+            "run_native(..., faults=...)) and pass that as native_result"
+        )
     rng = rng or np.random.default_rng(0)
     if native_result is None:
         native_result = run_native(
-            machine, trace, scheduler=scheduler, outages=outages
+            machine,
+            trace,
+            scheduler=scheduler,
+            outages=outages,
+            faults=faults,
+            retry=retry,
+            check_invariants=check_invariants,
         )
     t_end = _trace_end(trace)
     makespans = np.empty(n_samples)

@@ -1,8 +1,12 @@
 """Experiment drivers: one module per paper table/figure plus ablations.
 
-Every driver exposes ``run(scale) -> TableResult`` producing exactly the
+Every driver exposes ``run(ctx) -> TableResult`` producing exactly the
 rows/series the paper reports (at a configurable scale) and is wrapped
-by a benchmark in ``benchmarks/`` and by the ``repro`` CLI.
+by a benchmark in ``benchmarks/`` and by the ``repro`` CLI.  ``ctx`` is
+a :class:`~repro.experiments.context.RunContext` — the explicit bundle
+of scale preset, seeded RNG streams and content-addressed run store
+that replaced the old module-global caches; passing a bare
+``ExperimentScale`` (or nothing) builds a fresh private context.
 
 Scaling: the paper's logs span 40-84 days and its largest project is a
 million jobs; ``ExperimentScale`` shrinks log length, job counts and
@@ -18,10 +22,11 @@ from repro.experiments.config import (
 )
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
-    native_result_for,
     rng_for,
-    trace_for,
+)
+from repro.experiments.context import (
+    RunContext,
+    as_context,
 )
 
 __all__ = [
@@ -29,8 +34,7 @@ __all__ = [
     "SCALES",
     "current_scale",
     "TableResult",
-    "trace_for",
-    "native_result_for",
-    "continual_result_for",
     "rng_for",
+    "RunContext",
+    "as_context",
 ]

@@ -7,15 +7,13 @@ throughput and overall utilization vs native median/mean wait.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
     fmt_k,
-    native_result_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 
 MACHINE = "blue_mountain"
@@ -24,8 +22,9 @@ RUNTIME_1GHZ = 120.0
 CAPS: Tuple[float, ...] = (0.82, 0.86, 0.90, 0.94, 0.98)
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
     result = TableResult(
         exp_id="ablation_caps",
         title=(
@@ -40,7 +39,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
             "native mean wait",
         ],
     )
-    baseline = column_stats(native_result_for(MACHINE, scale))
+    baseline = column_stats(ctx.native_result_for(MACHINE))
     result.rows.append(
         [
             "native only",
@@ -52,8 +51,8 @@ def run(scale: ExperimentScale = None) -> TableResult:
     )
     result.data["native"] = baseline
     for cap in CAPS + (None,):
-        res, _ = continual_result_for(
-            MACHINE, scale, CPUS, RUNTIME_1GHZ, max_utilization=cap
+        res, _ = ctx.continual_result_for(
+            MACHINE, CPUS, RUNTIME_1GHZ, max_utilization=cap
         )
         stats = column_stats(res)
         label = "uncapped" if cap is None else f"{cap:.0%}"

@@ -12,17 +12,15 @@ One row per machine for the standard 32-CPU x 120 s @ 1 GHz stream.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.omniscient import pack_continual
 from repro.experiments.common import (
     MACHINE_LABELS,
     MACHINE_ORDER,
     TableResult,
-    continual_result_for,
-    machine_for,
-    native_result_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import JobKind
 from repro.units import normalize_runtime
 
@@ -30,8 +28,9 @@ CPUS = 32
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
     result = TableResult(
         exp_id="ablation_efficiency",
         title=(
@@ -47,14 +46,14 @@ def run(scale: ExperimentScale = None) -> TableResult:
         ],
     )
     for name in MACHINE_ORDER:
-        machine = machine_for(name)
-        trace = trace_for(name, scale)
-        native = native_result_for(name, scale)
+        machine = ctx.machine_for(name)
+        trace = ctx.trace_for(name)
+        native = ctx.native_result_for(name)
         runtime = normalize_runtime(RUNTIME_1GHZ, machine.clock_ghz)
         bound, _ = pack_continual(
             native, CPUS, runtime, horizon=trace.duration
         )
-        loaded, _ = continual_result_for(name, scale, CPUS, RUNTIME_1GHZ)
+        loaded, _ = ctx.continual_result_for(name, CPUS, RUNTIME_1GHZ)
         achieved = len(loaded.jobs(JobKind.INTERSTITIAL))
         efficiency = achieved / bound if bound else 0.0
         result.rows.append(

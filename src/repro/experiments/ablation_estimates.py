@@ -15,19 +15,14 @@ and measures native impact and interstitial throughput of a continual
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-import numpy as np
+from typing import List, Optional
 
 from repro.core.runners import run_continual
 from repro.experiments.common import (
     TableResult,
     fmt_k,
-    machine_for,
-    rng_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 from repro.jobs import InterstitialProject, Job
 
@@ -50,10 +45,11 @@ def _with_estimates(jobs: List[Job], mode: str) -> List[Job]:
     return out
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     project = InterstitialProject(
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
     )
@@ -76,7 +72,11 @@ def run(scale: ExperimentScale = None) -> TableResult:
     for mode in ("perfect", "default", "inflated"):
         jobs = _with_estimates(trace.jobs, mode)
         res, controller = run_continual(
-            machine, jobs, project, horizon=trace.duration
+            machine,
+            jobs,
+            project,
+            horizon=trace.duration,
+            check_invariants=ctx.check_invariants,
         )
         stats = column_stats(res)
         result.rows.append(

@@ -15,7 +15,7 @@ wait cost.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,10 +23,8 @@ from repro.core.runners import run_continual, run_native
 from repro.experiments.common import (
     TableResult,
     fmt_k,
-    machine_for,
-    rng_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 from repro.jobs import InterstitialProject
 from repro.theory.queueing import mmc_mean_wait
@@ -38,9 +36,10 @@ CPUS = 32
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
     result = TableResult(
         exp_id="ablation_load",
         title=(
@@ -63,7 +62,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
         [
             j.cpus
             for j in synthetic_trace_for(
-                MACHINE, rng=rng_for(scale, "width-probe"),
+                MACHINE, rng=ctx.rng_for("width-probe"),
                 scale=min(scale.trace_scale, 0.05),
             ).jobs
         ]
@@ -73,11 +72,16 @@ def run(scale: ExperimentScale = None) -> TableResult:
     for load in NATIVE_LOADS:
         trace = synthetic_trace_for(
             MACHINE,
-            rng=rng_for(scale, f"load:{load}"),
+            rng=ctx.rng_for(f"load:{load}"),
             scale=scale.trace_scale,
             utilization=load,
         )
-        res = run_native(machine, trace.jobs, horizon=trace.duration)
+        res = run_native(
+            machine,
+            trace.jobs,
+            horizon=trace.duration,
+            check_invariants=ctx.check_invariants,
+        )
         stats = column_stats(res)
         mmc = mmc_mean_wait(slots, load, 2.5 * 3600.0)
         result.rows.append(
@@ -94,7 +98,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
     # Baseline load + continual interstitial reaching high overall util.
     base_trace = synthetic_trace_for(
         MACHINE,
-        rng=rng_for(scale, f"load:{NATIVE_LOADS[1]}"),
+        rng=ctx.rng_for(f"load:{NATIVE_LOADS[1]}"),
         scale=scale.trace_scale,
         utilization=NATIVE_LOADS[1],
     )
@@ -102,7 +106,11 @@ def run(scale: ExperimentScale = None) -> TableResult:
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
     )
     boosted, _ = run_continual(
-        machine, base_trace.jobs, project, horizon=base_trace.duration
+        machine,
+        base_trace.jobs,
+        project,
+        horizon=base_trace.duration,
+        check_invariants=ctx.check_invariants,
     )
     stats = column_stats(boosted)
     result.rows.append(

@@ -10,15 +10,15 @@ user estimates.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.controller import InterstitialController
 from repro.core.runners import run_with_controller
 from repro.experiments.common import (
     TableResult,
     fmt_k,
-    machine_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 from repro.jobs import InterstitialProject
 from repro.sched import PerUserRuntimePredictor, lsf_scheduler
@@ -28,10 +28,11 @@ CPUS = 32
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     project = InterstitialProject(
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
     )
@@ -63,6 +64,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
             controller,
             scheduler=lsf_scheduler(predictor=predictor),
             horizon=trace.duration,
+            check_invariants=ctx.check_invariants,
         )
         stats = column_stats(res)
         result.rows.append(

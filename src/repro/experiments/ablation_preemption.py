@@ -11,16 +11,15 @@ CPU-time is thrown away.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.controller import InterstitialController
 from repro.core.runners import run_with_controller
 from repro.experiments.common import (
     TableResult,
     fmt_k,
-    machine_for,
-    native_result_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 from repro.jobs import InterstitialProject
 
@@ -29,10 +28,11 @@ CPUS = 32
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     project = InterstitialProject(
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
     )
@@ -53,7 +53,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
             "native mean wait",
         ],
     )
-    baseline = column_stats(native_result_for(MACHINE, scale))
+    baseline = column_stats(ctx.native_result_for(MACHINE))
     result.data["native_baseline"] = baseline
     for label, preemptible, checkpointing in (
         ("non-preemptive (paper)", False, False),
@@ -68,7 +68,11 @@ def run(scale: ExperimentScale = None) -> TableResult:
             checkpointing=checkpointing,
         )
         res = run_with_controller(
-            machine, trace.jobs, controller, horizon=trace.duration
+            machine,
+            trace.jobs,
+            controller,
+            horizon=trace.duration,
+            check_invariants=ctx.check_invariants,
         )
         stats = column_stats(res)
         wasted_cpu_h = (

@@ -9,19 +9,11 @@ with the analytic breakage prediction relative to the 1-CPU project.
 from __future__ import annotations
 
 import math
-from typing import Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from repro.core.runners import run_omniscient_samples
-from repro.experiments.common import (
-    TableResult,
-    machine_for,
-    native_result_for,
-    rng_for,
-    trace_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import InterstitialProject
 from repro.theory import breakage_factor
 from repro.units import HOUR
@@ -32,11 +24,12 @@ PETA_CYCLES = 7.7
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    native = native_result_for(MACHINE, scale)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    native = ctx.native_result_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     utilization = native.native_utilization
     result = TableResult(
         exp_id="ablation_width",
@@ -68,7 +61,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
             n_samples=max(30, 3 * scale.omniscient_samples),
             # One shared salt: every width sees the same drop-in times,
             # so the ratio isolates breakage from start-time luck.
-            rng=rng_for(scale, "width-sweep"),
+            rng=ctx.rng_for("width-sweep"),
             native_result=native,
         )
         mean = float(makespans.mean())

@@ -15,13 +15,10 @@ damage across users (nobody wants the cascade landing on one group).
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    TableResult,
-    continual_result_for,
-    machine_for,
-    native_result_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from typing import Optional
+
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import (
     CONTINUAL_CPUS,
     CONTINUAL_RUNTIMES_1GHZ,
@@ -34,10 +31,11 @@ from repro.units import normalize_runtime
 MACHINE = "blue_mountain"
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    baseline = native_result_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    baseline = ctx.native_result_for(MACHINE)
     result = TableResult(
         exp_id="cascade_analysis",
         title=(
@@ -56,8 +54,8 @@ def run(scale: ExperimentScale = None) -> TableResult:
     )
     for runtime_1ghz in CONTINUAL_RUNTIMES_1GHZ:
         actual = normalize_runtime(runtime_1ghz, machine.clock_ghz)
-        loaded, _ = continual_result_for(
-            MACHINE, scale, CONTINUAL_CPUS, runtime_1ghz
+        loaded, _ = ctx.continual_result_for(
+            MACHINE, CONTINUAL_CPUS, runtime_1ghz
         )
         report = cascade_report(
             baseline.jobs(JobKind.NATIVE),

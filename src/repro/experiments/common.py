@@ -1,40 +1,28 @@
 """Shared infrastructure for experiment drivers.
 
-Traces, native baseline runs and continual interstitial runs are
-process-cached by (machine, scale, parameters): many tables reuse the
-same Blue Mountain continual log, and the caching is what makes running
-the full bench suite tractable.
+Stateless helpers only: formatting, scaling, machine labels and the
+:class:`TableResult` container.  Run caching lives in the explicit
+:class:`~repro.experiments.context.RunContext` / content-addressed
+:class:`~repro.store.RunStore` pair — this module deliberately holds
+no mutable state, so any number of contexts (threads, processes) can
+use it concurrently.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.controller import InterstitialController
-from repro.core.runners import run_native, run_with_controller
-from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentScale
 from repro.jobs import InterstitialProject
 from repro.machines import Machine, preset
-from repro.machines.presets import preset_names
 from repro.metrics.tables import format_table
-from repro.sim.results import SimResult
-from repro.workload.synthetic import synthetic_trace_for
-from repro.workload.trace import Trace
 
 #: Interstitial accounting identity used by all experiments.
 INTERSTITIAL_USER = "interstitial"
-
-_trace_cache: Dict[Tuple[str, str], Trace] = {}
-_native_cache: Dict[Tuple[str, str], SimResult] = {}
-_continual_cache: Dict[
-    Tuple[str, str, int, float, Optional[float]],
-    Tuple[SimResult, InterstitialController],
-] = {}
 
 
 def rng_for(scale: ExperimentScale, salt: str) -> np.random.Generator:
@@ -42,78 +30,6 @@ def rng_for(scale: ExperimentScale, salt: str) -> np.random.Generator:
     return np.random.default_rng(
         (scale.seed, zlib.crc32(salt.encode("utf-8")))
     )
-
-
-def trace_for(machine_name: str, scale: ExperimentScale) -> Trace:
-    """The (cached) synthetic native trace for a preset machine."""
-    if machine_name not in preset_names():
-        raise ConfigurationError(f"unknown machine {machine_name!r}")
-    key = (machine_name, scale.name)
-    if key not in _trace_cache:
-        _trace_cache[key] = synthetic_trace_for(
-            machine_name,
-            rng=rng_for(scale, f"trace:{machine_name}"),
-            scale=scale.trace_scale,
-        )
-    return _trace_cache[key]
-
-
-def native_result_for(
-    machine_name: str, scale: ExperimentScale
-) -> SimResult:
-    """The (cached) native-only baseline run for a preset machine."""
-    key = (machine_name, scale.name)
-    if key not in _native_cache:
-        trace = trace_for(machine_name, scale)
-        machine = preset(machine_name)
-        _native_cache[key] = run_native(
-            machine, trace.jobs, horizon=trace.duration
-        )
-    return _native_cache[key]
-
-
-def continual_result_for(
-    machine_name: str,
-    scale: ExperimentScale,
-    cpus_per_job: int,
-    runtime_1ghz: float,
-    max_utilization: Optional[float] = None,
-) -> Tuple[SimResult, InterstitialController]:
-    """The (cached) continual-interstitial run for one job shape."""
-    key = (machine_name, scale.name, cpus_per_job, runtime_1ghz,
-           max_utilization)
-    if key not in _continual_cache:
-        trace = trace_for(machine_name, scale)
-        machine = preset(machine_name)
-        project = InterstitialProject(
-            n_jobs=1,  # placeholder; the controller feeds continually
-            cpus_per_job=cpus_per_job,
-            runtime_1ghz=runtime_1ghz,
-            name=f"continual-{cpus_per_job}x{runtime_1ghz:.0f}",
-            user=INTERSTITIAL_USER,
-            group=INTERSTITIAL_USER,
-        )
-        controller = InterstitialController(
-            machine=machine,
-            project=project,
-            continual=True,
-            max_utilization=max_utilization,
-        )
-        result = run_with_controller(
-            machine,
-            trace.jobs,
-            controller,
-            horizon=trace.duration,
-        )
-        _continual_cache[key] = (result, controller)
-    return _continual_cache[key]
-
-
-def clear_caches() -> None:
-    """Drop all cached traces/runs (test isolation)."""
-    _trace_cache.clear()
-    _native_cache.clear()
-    _continual_cache.clear()
 
 
 def machine_for(machine_name: str) -> Machine:
@@ -156,10 +72,18 @@ def fmt_pm_h(mean_s: float, std_s: float) -> str:
 
 
 def fmt_k(seconds: float) -> str:
-    """Format seconds the paper's 'k' way (e.g. 4.4k) below 100k."""
-    if seconds >= 999.5:
+    """Format seconds the paper's 'k' way: whole seconds below 1k, one
+    decimal of thousands (e.g. ``4.4k``) below 100k, and whole
+    thousands (e.g. ``123k``) from 100k up.
+
+    Thresholds sit at the rounding boundaries (999.5, 99 950) so the
+    rendered value never reads ``1000`` or ``100.0k``.
+    """
+    if seconds < 999.5:
+        return f"{seconds:.0f}"
+    if seconds < 99_950.0:
         return f"{seconds / 1000.0:.1f}k"
-    return f"{seconds:.0f}"
+    return f"{seconds / 1000.0:.0f}k"
 
 
 def scaled_kjobs(kjobs: float, scale: ExperimentScale) -> int:

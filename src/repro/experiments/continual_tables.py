@@ -15,12 +15,9 @@ import numpy as np
 
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
     fmt_k,
-    machine_for,
-    native_result_for,
 )
-from repro.experiments.config import ExperimentScale
+from repro.experiments.context import RunContext
 from repro.jobs import JobKind
 from repro.metrics.waits import largest_fraction, wait_times
 from repro.sim.results import SimResult
@@ -53,20 +50,20 @@ def column_stats(result: SimResult) -> dict:
 def build(
     exp_id: str,
     machine_name: str,
-    scale: ExperimentScale,
+    ctx: RunContext,
     title_machine: str,
     max_utilization: Optional[float] = None,
 ) -> TableResult:
     """Build one continual-interstitial table."""
-    machine = machine_for(machine_name)
+    scale = ctx.scale
+    machine = ctx.machine_for(machine_name)
     clock = machine.clock_ghz
-    columns = [("Native Jobs", native_result_for(machine_name, scale))]
+    columns = [("Native Jobs", ctx.native_result_for(machine_name))]
     for runtime_1ghz in CONTINUAL_RUNTIMES_1GHZ:
         actual = normalize_runtime(runtime_1ghz, clock)
         label = f"{CONTINUAL_CPUS}CPU x {actual:.0f}sec"
-        run, _ = continual_result_for(
+        run, _ = ctx.continual_result_for(
             machine_name,
-            scale,
             CONTINUAL_CPUS,
             runtime_1ghz,
             max_utilization=max_utilization,

@@ -1,0 +1,133 @@
+"""Parallel experiment executor.
+
+Runs a set of registry experiments either serially (in the caller's
+:class:`~repro.experiments.context.RunContext`) or across worker
+processes with ``ProcessPoolExecutor``.  Parallel workers cannot share
+in-process memory, so they communicate through the content-addressed
+disk layer of :class:`~repro.store.RunStore`: each worker rebuilds a
+``RunContext`` from the picklable ``(scale, store_path,
+check_invariants)`` triple and returns only the rendered table text.
+
+Because every driver is fully deterministic in the scale seed, the
+rendered output of ``run_experiments(names, ctx, jobs=N)`` is
+byte-identical for every ``N`` — parallelism only changes who computes
+a given simulation first.
+
+Scheduling honours :attr:`ExperimentSpec.deps` as a partial order: an
+experiment is submitted only once all of its requested deps have
+finished, so e.g. Table 3 reads Table 2's point grid from the store
+instead of recomputing it in a second process.  Deps that are not part
+of the requested set are ignored.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import RunContext
+from repro.store import RunStore
+
+
+def _render_one(
+    name: str,
+    scale: ExperimentScale,
+    store_path: Optional[str],
+    check_invariants: bool,
+) -> Tuple[str, str]:
+    """Worker entry point: rebuild a context, run one driver, return
+    ``(name, rendered text)``."""
+    from repro.experiments.registry import SPECS
+
+    ctx = RunContext(
+        scale=scale,
+        store=RunStore(store_path),
+        check_invariants=check_invariants,
+    )
+    return name, SPECS[name].driver(ctx).render()
+
+
+def run_experiments(
+    names: Sequence[str],
+    ctx: RunContext,
+    jobs: int = 1,
+) -> Dict[str, str]:
+    """Run the named experiments; return ``{name: rendered text}``.
+
+    ``jobs <= 1`` runs everything serially in ``ctx``.  ``jobs > 1``
+    fans out over a process pool; if ``ctx.store`` has no disk layer a
+    temporary one is created for the duration of the call so workers
+    can share simulation runs.
+    """
+    from repro.experiments.registry import SPECS
+
+    unknown = [n for n in names if n not in SPECS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    if jobs <= 1 or len(names) <= 1:
+        return {name: SPECS[name].driver(ctx).render() for name in names}
+
+    tmpdir = None
+    store_path = ctx.store.path
+    if store_path is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-store-")
+        store_path = tmpdir.name
+    try:
+        return _run_parallel(
+            names, ctx.scale, str(store_path), ctx.check_invariants, jobs
+        )
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+
+def _run_parallel(
+    names: Sequence[str],
+    scale: ExperimentScale,
+    store_path: str,
+    check_invariants: bool,
+    jobs: int,
+) -> Dict[str, str]:
+    from repro.experiments.registry import SPECS
+
+    requested = set(names)
+    rendered: Dict[str, str] = {}
+    pending = list(names)  # keep request order for deterministic submits
+    running = {}
+
+    def ready(name: str) -> bool:
+        return all(
+            dep in rendered
+            for dep in SPECS[name].deps
+            if dep in requested and dep != name
+        )
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        while pending or running:
+            for name in [n for n in pending if ready(n)]:
+                pending.remove(name)
+                running[
+                    pool.submit(
+                        _render_one, name, scale, store_path,
+                        check_invariants,
+                    )
+                ] = name
+            if not running:
+                # Remaining deps point at each other: break the cycle
+                # rather than deadlock (deps are only hints).
+                name = pending.pop(0)
+                running[
+                    pool.submit(
+                        _render_one, name, scale, store_path,
+                        check_invariants,
+                    )
+                ] = name
+            done, _ = wait(running, return_when=FIRST_COMPLETED)
+            for future in done:
+                running.pop(future)
+                name, text = future.result()
+                rendered[name] = text
+    return rendered

@@ -19,12 +19,8 @@ from typing import Optional, Tuple
 
 from repro.core.controller import InterstitialController
 from repro.core.runners import run_with_controller
-from repro.experiments.common import (
-    TableResult,
-    machine_for,
-    trace_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import InterstitialProject, JobKind
 from repro.units import DAY, HOUR
@@ -46,10 +42,11 @@ MTBF_SETTINGS: Tuple[Tuple[str, Optional[float], str], ...] = (
 )
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     project = InterstitialProject(
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
     )
@@ -101,6 +98,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
             faults=faults,
             retry=retry,
             horizon=trace.duration,
+            check_invariants=ctx.check_invariants,
         )
         killed_native = sum(1 for j in res.killed if j.kind is JobKind.NATIVE)
         killed_inter = len(res.killed) - killed_native

@@ -8,20 +8,20 @@ projects in gray, hugging the diagonal.  We emit the same point series
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.experiments import table2
 from repro.experiments.common import MACHINE_LABELS, MACHINE_ORDER, TableResult
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.metrics.ascii_plots import scatter
 from repro.theory import fit_affine
 from repro.units import HOUR
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
+def run(ctx: Optional[RunContext] = None) -> TableResult:
     """Build the Figure 2 point series."""
-    scale = scale or current_scale()
-    t2 = table2.run(scale)
+    ctx = as_context(ctx)
+    t2 = table2.run(ctx)
     result = TableResult(
         exp_id="fig2",
         title="Figure 2: Actual vs theoretical makespan (hours)",

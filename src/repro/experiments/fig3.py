@@ -10,18 +10,16 @@ utilization stretches.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.sampling import sample_short_projects
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
-    machine_for,
-    native_result_for,
-    rng_for,
     scaled_kjobs,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import InterstitialProject, JobKind
 from repro.metrics.histograms import survival
 from repro.theory import ideal_makespan_for
@@ -36,10 +34,11 @@ CPUS = 32
 QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    native = native_result_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    native = ctx.native_result_for(MACHINE)
     utilization = native.native_utilization
     result = TableResult(
         exp_id="fig3",
@@ -55,12 +54,12 @@ def run(scale: ExperimentScale = None) -> TableResult:
         project = InterstitialProject(
             n_jobs=n_jobs, cpus_per_job=CPUS, runtime_1ghz=runtime
         )
-        cont, _ = continual_result_for(MACHINE, scale, CPUS, runtime)
+        cont, _ = ctx.continual_result_for(MACHINE, CPUS, runtime)
         samples = sample_short_projects(
             cont.jobs(JobKind.INTERSTITIAL),
             n_jobs=n_jobs,
             n_samples=scale.sampled_projects,
-            rng=rng_for(scale, f"fig3:{kjobs}:{runtime}"),
+            rng=ctx.rng_for(f"fig3:{kjobs}:{runtime}"),
         )
         # Theory lines: empty machine and average-utilization minimum.
         theory_empty = ideal_makespan_for(project, machine, 0.0)

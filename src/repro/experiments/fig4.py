@@ -10,14 +10,12 @@ hourly series plus summary rows (mean, and the fraction of hours above
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.experiments.common import (
-    TableResult,
-    continual_result_for,
-    native_result_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.metrics.ascii_plots import sparkline
 from repro.metrics.utilization import hourly_utilization
 
@@ -26,10 +24,11 @@ CPUS = 32
 RUNTIME_1GHZ = 120.0
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    native = native_result_for(MACHINE, scale)
-    cont, _ = continual_result_for(MACHINE, scale, CPUS, RUNTIME_1GHZ)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    native = ctx.native_result_for(MACHINE)
+    cont, _ = ctx.continual_result_for(MACHINE, CPUS, RUNTIME_1GHZ)
     result = TableResult(
         exp_id="fig4",
         title=(

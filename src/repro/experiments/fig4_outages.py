@@ -9,21 +9,19 @@ exactly where scheduled while the rest of the series stays pinned.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.controller import InterstitialController
 from repro.core.runners import run_with_controller
-from repro.experiments.common import (
-    TableResult,
-    machine_for,
-    trace_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import InterstitialProject
 from repro.metrics.ascii_plots import sparkline
 from repro.metrics.utilization import hourly_utilization
 from repro.sim.outages import Outage, OutageSchedule
-from repro.units import DAY, HOUR
+from repro.units import DAY
 
 MACHINE = "blue_mountain"
 CPUS = 32
@@ -51,10 +49,11 @@ def outage_schedule(machine, duration: float) -> OutageSchedule:
     )
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    trace = trace_for(MACHINE, scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    trace = ctx.trace_for(MACHINE)
     outages = outage_schedule(machine, trace.duration)
     project = InterstitialProject(
         n_jobs=1, cpus_per_job=CPUS, runtime_1ghz=RUNTIME_1GHZ
@@ -68,6 +67,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
         controller,
         outages=outages,
         horizon=trace.duration,
+        check_invariants=ctx.check_invariants,
     )
     times, utils = hourly_utilization(result_run, t1=trace.duration)
 

@@ -9,14 +9,10 @@ interstitial runtime, with a small cascade tail reaching [4,6).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.common import (
-    TableResult,
-    continual_result_for,
-    native_result_for,
-)
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import (
     CONTINUAL_CPUS,
     CONTINUAL_RUNTIMES_1GHZ,
@@ -40,12 +36,12 @@ def population(jobs: Sequence[Job]) -> Sequence[Job]:
     return jobs
 
 
-def build(exp_id: str, title: str, select, scale: ExperimentScale) -> TableResult:
+def build(exp_id: str, title: str, select, ctx: RunContext) -> TableResult:
     """Shared builder for Figures 5 and 6 (``select`` filters natives)."""
-    cases = [("no interstitial", native_result_for(MACHINE, scale))]
+    cases = [("no interstitial", ctx.native_result_for(MACHINE))]
     for runtime_1ghz in CONTINUAL_RUNTIMES_1GHZ:
-        res, _ = continual_result_for(
-            MACHINE, scale, CONTINUAL_CPUS, runtime_1ghz
+        res, _ = ctx.continual_result_for(
+            MACHINE, CONTINUAL_CPUS, runtime_1ghz
         )
         cases.append((f"{CONTINUAL_CPUS}CPU x {runtime_1ghz:.0f}s@1GHz", res))
     result = TableResult(
@@ -65,14 +61,15 @@ def build(exp_id: str, title: str, select, scale: ExperimentScale) -> TableResul
     return result
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
     result = build(
         "fig5",
         "Figure 5: wait-time distribution of native jobs on Blue "
         f"Mountain, P(log10 wait s in bin) (scale={scale.name})",
         population,
-        scale,
+        ctx,
     )
     result.notes.append(
         "Paper shape: baseline mass concentrated in [0,1); with "

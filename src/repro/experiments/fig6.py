@@ -8,20 +8,22 @@ the ones whose backfill windows interstitial jobs poach.
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentScale, current_scale
+from typing import Optional
+
 from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.fig5 import build
 from repro.metrics.waits import largest_fraction
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
     result = build(
         "fig6",
         "Figure 6: wait-time distribution of the 5% largest native jobs "
-        f"on Blue Mountain (by CPU-sec) (scale={scale.name})",
+        f"on Blue Mountain (by CPU-sec) (scale={ctx.scale.name})",
         lambda jobs: largest_fraction(jobs, 0.05),
-        scale,
+        ctx,
     )
     result.notes.append(
         "Paper shape: compared to Figure 5 the large-job distribution "

@@ -9,17 +9,19 @@ the paper's values.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments import table2
 from repro.experiments.common import MACHINE_ORDER, TableResult
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.theory import fit_affine
 from repro.theory.makespan import PAPER_FIT_INTERCEPT_S, PAPER_FIT_SLOPE
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
+def run(ctx: Optional[RunContext] = None) -> TableResult:
     """Fit measured omniscient makespans against the ideal model."""
-    scale = scale or current_scale()
-    t2 = table2.run(scale)
+    ctx = as_context(ctx)
+    t2 = table2.run(ctx)
     xs, ys = [], []
     for m in MACHINE_ORDER:
         for p in t2.data["points"][m]:

@@ -8,22 +8,22 @@ count — calibrated substitutes for the proprietary logs).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import (
     MACHINE_LABELS,
     MACHINE_ORDER,
     TableResult,
-    machine_for,
-    native_result_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.machines.presets import targets
 from repro.units import DAY
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    """Build the Table 1 comparison at the given scale."""
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    """Build the Table 1 comparison for the given run context."""
+    ctx = as_context(ctx)
+    scale = ctx.scale
     result = TableResult(
         exp_id="table1",
         title=(
@@ -32,9 +32,9 @@ def run(scale: ExperimentScale = None) -> TableResult:
         ),
         headers=["row"] + [MACHINE_LABELS[m] for m in MACHINE_ORDER],
     )
-    machines = {m: machine_for(m) for m in MACHINE_ORDER}
-    traces = {m: trace_for(m, scale) for m in MACHINE_ORDER}
-    natives = {m: native_result_for(m, scale) for m in MACHINE_ORDER}
+    machines = {m: ctx.machine_for(m) for m in MACHINE_ORDER}
+    traces = {m: ctx.trace_for(m) for m in MACHINE_ORDER}
+    natives = {m: ctx.native_result_for(m) for m in MACHINE_ORDER}
 
     def row(label, fn):
         result.rows.append([label] + [fn(m) for m in MACHINE_ORDER])

@@ -6,14 +6,14 @@ native log at random start times and pack it omnisciently; report the
 mean ± std makespan in hours over the samples.
 
 The driver also exposes the raw (ideal-theory, measured) point pairs
-that §4.2's fit, Table 3 and Figure 2 reuse.
+that §4.2's fit, Table 3 and Figure 2 reuse — the point grid goes
+through the context's content-addressed store (so parallel workers
+share it) and the finished TableResult is memoized per context.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.runners import run_omniscient_samples
 from repro.experiments.common import (
@@ -21,12 +21,9 @@ from repro.experiments.common import (
     MACHINE_ORDER,
     TableResult,
     fmt_pm_h,
-    machine_for,
-    native_result_for,
-    rng_for,
-    trace_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.config import ExperimentScale
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import InterstitialProject
 from repro.theory import ideal_makespan_for
 
@@ -52,35 +49,19 @@ def project_grid(scale: ExperimentScale) -> List[InterstitialProject]:
     return projects
 
 
-_memo: Dict[str, TableResult] = {}
-
-
-def run(scale: ExperimentScale = None) -> TableResult:
-    """Build Table 2 at the given scale (memoized per scale — Table 3,
-    Figure 2 and the §4.2 fit all reuse these runs)."""
-    scale = scale or current_scale()
-    if scale.name in _memo:
-        return _memo[scale.name]
-    result = TableResult(
-        exp_id="table2",
-        title=(
-            "Table 2: Omniscient interstitial makespan (hours, mean ± std "
-            f"over {scale.omniscient_samples} random drop-ins; projects at "
-            f"{scale.project_scale:g}x paper size)"
-        ),
-        headers=["PetaCycles", "kJobs", "CPU/Job"]
-        + [MACHINE_LABELS[m] for m in MACHINE_ORDER],
-    )
+def _compute_points(ctx: RunContext) -> Dict[str, List[Dict[str, float]]]:
+    """The full omniscient point grid, one list of plain-float dicts
+    per machine (store-friendly: no live objects)."""
+    scale = ctx.scale
     points: Dict[str, List[Dict[str, float]]] = {m: [] for m in MACHINE_ORDER}
     nominal_sizes = [
         peta for peta in PAPER_PETA_CYCLES for _ in JOB_WIDTHS
     ]
     for nominal_peta, project in zip(nominal_sizes, project_grid(scale)):
-        cells = []
         for m in MACHINE_ORDER:
-            machine = machine_for(m)
-            native = native_result_for(m, scale)
-            trace = trace_for(m, scale)
+            machine = ctx.machine_for(m)
+            native = ctx.native_result_for(m)
+            trace = ctx.trace_for(m)
             makespans, _ = run_omniscient_samples(
                 machine,
                 trace.jobs,
@@ -89,12 +70,11 @@ def run(scale: ExperimentScale = None) -> TableResult:
                 # Salt excludes the width so 1-CPU and 32-CPU projects
                 # of one size share drop-in times — the Table 3 ratio
                 # then isolates breakage from start-time luck.
-                rng=rng_for(scale, f"table2:{m}:{nominal_peta}"),
+                rng=ctx.rng_for(f"table2:{m}:{nominal_peta}"),
                 native_result=native,
             )
             mean = float(makespans.mean())
             std = float(makespans.std(ddof=1)) if makespans.size > 1 else 0.0
-            cells.append(fmt_pm_h(mean, std))
             points[m].append(
                 {
                     "nominal_peta": nominal_peta,
@@ -109,13 +89,39 @@ def run(scale: ExperimentScale = None) -> TableResult:
                     "utilization": native.native_utilization,
                 }
             )
+    return points
+
+
+def _build(ctx: RunContext) -> TableResult:
+    scale = ctx.scale
+    points = ctx.run_cached(
+        {"kind": "artifact-data", "name": "table2-points"},
+        lambda: _compute_points(ctx),
+    )
+    result = TableResult(
+        exp_id="table2",
+        title=(
+            "Table 2: Omniscient interstitial makespan (hours, mean ± std "
+            f"over {scale.omniscient_samples} random drop-ins; projects at "
+            f"{scale.project_scale:g}x paper size)"
+        ),
+        headers=["PetaCycles", "kJobs", "CPU/Job"]
+        + [MACHINE_LABELS[m] for m in MACHINE_ORDER],
+    )
+    for i, p0 in enumerate(points[MACHINE_ORDER[0]]):
         result.rows.append(
             [
-                f"{project.peta_cycles:.3g}",
-                f"{project.n_jobs / 1000.0:g}",
-                str(project.cpus_per_job),
+                f"{p0['peta_cycles']:.3g}",
+                f"{p0['n_jobs'] / 1000.0:g}",
+                str(p0["cpus_per_job"]),
             ]
-            + cells
+            + [
+                fmt_pm_h(
+                    points[m][i]["mean_makespan_s"],
+                    points[m][i]["std_makespan_s"],
+                )
+                for m in MACHINE_ORDER
+            ]
         )
     result.data["points"] = points
     result.notes.append(
@@ -123,8 +129,14 @@ def run(scale: ExperimentScale = None) -> TableResult:
         "Blue Pacific >> Blue Mountain ~ Ross; 32-CPU ~ 1-CPU except on "
         "Blue Pacific (breakage)."
     )
-    _memo[scale.name] = result
     return result
+
+
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    """Build Table 2 (memoized per context — Table 3, Figure 2 and the
+    §4.2 fit all reuse it)."""
+    ctx = as_context(ctx)
+    return ctx.artifact("table2", lambda: _build(ctx))
 
 
 def main() -> None:  # pragma: no cover - CLI glue

@@ -12,22 +12,23 @@ import math
 
 import numpy as np
 
+from typing import Optional
+
 from repro.experiments import table2
 from repro.experiments.common import (
     MACHINE_LABELS,
     MACHINE_ORDER,
     TableResult,
-    machine_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.machines.presets import targets
 from repro.theory import breakage_factor
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    """Build Table 3 (reuses the Table 2 runs via the shared caches)."""
-    scale = scale or current_scale()
-    t2 = table2.run(scale)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    """Build Table 3 (reuses the Table 2 runs via the shared context)."""
+    ctx = as_context(ctx)
+    t2 = table2.run(ctx)
     result = TableResult(
         exp_id="table3",
         title="Table 3: 32-CPU vs 1-CPU makespan ratio (breakage)",
@@ -37,7 +38,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
     theory_measured = []
     actual = []
     for m in MACHINE_ORDER:
-        machine = machine_for(m)
+        machine = ctx.machine_for(m)
         points = t2.data["points"][m]
         measured_util = points[0]["utilization"]
         theory_paper.append(

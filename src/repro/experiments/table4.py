@@ -16,17 +16,16 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
+
+from typing import Optional
 
 from repro.core.sampling import sample_short_projects
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
     fmt_pm_h,
-    rng_for,
     scaled_kjobs,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.jobs import JobKind
 
 #: (peta-cycles, kJobs, CPUs/job, runtime s @ 1 GHz) — the paper's rows.
@@ -47,18 +46,19 @@ LABELS = {"blue_mountain": "Blue Mt", "blue_pacific": "Blue Pac"}
 
 def _cell(
     machine: str,
-    scale: ExperimentScale,
+    ctx: RunContext,
     cpus: int,
     runtime: float,
     n_jobs: int,
 ) -> Tuple[str, List[float]]:
-    result, _ = continual_result_for(machine, scale, cpus, runtime)
+    scale = ctx.scale
+    result, _ = ctx.continual_result_for(machine, cpus, runtime)
     inter = result.jobs(JobKind.INTERSTITIAL)
     samples = sample_short_projects(
         inter,
         n_jobs=n_jobs,
         n_samples=scale.sampled_projects,
-        rng=rng_for(scale, f"table4:{machine}:{cpus}:{runtime}:{n_jobs}"),
+        rng=ctx.rng_for(f"table4:{machine}:{cpus}:{runtime}:{n_jobs}"),
     )
     if samples.size < max(3, scale.sampled_projects // 10):
         return "n/a*", []
@@ -67,9 +67,10 @@ def _cell(
     return fmt_pm_h(mean, std), samples.tolist()
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    """Build Table 4 at the given scale."""
-    scale = scale or current_scale()
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    """Build Table 4 for the given run context."""
+    ctx = as_context(ctx)
+    scale = ctx.scale
     result = TableResult(
         exp_id="table4",
         title=(
@@ -85,7 +86,7 @@ def run(scale: ExperimentScale = None) -> TableResult:
         n_jobs = scaled_kjobs(kjobs, scale)
         cells = []
         for m in MACHINES:
-            cell, samples = _cell(m, scale, cpus, runtime, n_jobs)
+            cell, samples = _cell(m, ctx, cpus, runtime, n_jobs)
             cells.append(cell)
             result.data["samples"][(m, peta, kjobs, cpus, runtime)] = samples
         result.rows.append(

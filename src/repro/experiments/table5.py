@@ -11,14 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
     fmt_k,
-    machine_for,
-    native_result_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import (
     CONTINUAL_CPUS,
     CONTINUAL_RUNTIMES_1GHZ,
@@ -42,15 +41,16 @@ def _population_stats(jobs) -> dict:
     }
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    machine = machine_for(MACHINE)
-    columns = [("Native only", native_result_for(MACHINE, scale))]
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    machine = ctx.machine_for(MACHINE)
+    columns = [("Native only", ctx.native_result_for(MACHINE))]
     for runtime_1ghz in CONTINUAL_RUNTIMES_1GHZ:
         actual = normalize_runtime(runtime_1ghz, machine.clock_ghz)
         label = f"+ {CONTINUAL_CPUS}CPU x {actual:.0f}s"
-        run_result, _ = continual_result_for(
-            MACHINE, scale, CONTINUAL_CPUS, runtime_1ghz
+        run_result, _ = ctx.continual_result_for(
+            MACHINE, CONTINUAL_CPUS, runtime_1ghz
         )
         columns.append((label, run_result))
 

@@ -7,14 +7,16 @@ from .776 to ~.94 with native utilization and throughput unchanged; the
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.continual_tables import build
+from typing import Optional
+
 from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
+from repro.experiments.continual_tables import build
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    result = build("table6", "blue_mountain", scale, "Blue Mountain")
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    result = build("table6", "blue_mountain", ctx, "Blue Mountain")
     result.title = "Table 6: " + result.title
     result.notes.append(
         "Paper shapes: overall util .776 -> ~.94; native util and job "

@@ -8,14 +8,16 @@ small free pool and 32-CPU breakage strangle the long-job stream.
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.continual_tables import build
+from typing import Optional
+
 from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
+from repro.experiments.continual_tables import build
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    result = build("table7", "blue_pacific", scale, "Blue Pacific")
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    result = build("table7", "blue_pacific", ctx, "Blue Pacific")
     result.title = "Table 7: " + result.title
     result.notes.append(
         "Paper shapes: small utilization gain (already >.9); median "

@@ -9,15 +9,13 @@ interstitial jobs.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.common import (
     TableResult,
-    continual_result_for,
     fmt_k,
-    native_result_for,
 )
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.context import RunContext, as_context
 from repro.experiments.continual_tables import column_stats
 
 MACHINE = "blue_mountain"
@@ -26,15 +24,16 @@ RUNTIME_1GHZ = 120.0
 CAPS: Tuple[float, ...] = (0.90, 0.95, 0.98)
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    native_stats = column_stats(native_result_for(MACHINE, scale))
-    uncapped, _ = continual_result_for(MACHINE, scale, CPUS, RUNTIME_1GHZ)
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    scale = ctx.scale
+    native_stats = column_stats(ctx.native_result_for(MACHINE))
+    uncapped, _ = ctx.continual_result_for(MACHINE, CPUS, RUNTIME_1GHZ)
     uncapped_stats = column_stats(uncapped)
     columns = [("uncapped", uncapped_stats)]
     for cap in CAPS:
-        res, _ = continual_result_for(
-            MACHINE, scale, CPUS, RUNTIME_1GHZ, max_utilization=cap
+        res, _ = ctx.continual_result_for(
+            MACHINE, CPUS, RUNTIME_1GHZ, max_utilization=cap
         )
         columns.append((f"util < {cap:.0%}", column_stats(res)))
 

@@ -8,14 +8,16 @@ backfill make the big jobs the victims).
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.continual_tables import build
+from typing import Optional
+
 from repro.experiments.common import TableResult
+from repro.experiments.context import RunContext, as_context
+from repro.experiments.continual_tables import build
 
 
-def run(scale: ExperimentScale = None) -> TableResult:
-    scale = scale or current_scale()
-    result = build("table8_ross", "ross", scale, "Ross")
+def run(ctx: Optional[RunContext] = None) -> TableResult:
+    ctx = as_context(ctx)
+    result = build("table8_ross", "ross", ctx, "Ross")
     result.title = "Table 8a: " + result.title
     result.notes.append(
         "Paper shapes: overall util .631 -> .988; native util ~flat; "

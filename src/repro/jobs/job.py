@@ -185,9 +185,3 @@ class Job:
             f"estimate={self.estimate:.0f}s, submit={self.submit_time:.0f}s, "
             f"state={self.state.value})"
         )
-
-
-def reset_job_ids() -> None:
-    """Reset the global job-id counter (test isolation helper)."""
-    global _job_counter
-    _job_counter = itertools.count(1)

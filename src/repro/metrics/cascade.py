@@ -24,7 +24,7 @@ number is :attr:`CascadeReport.cascade_fraction` together with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

@@ -13,6 +13,7 @@ interstitial source.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
@@ -30,24 +31,6 @@ from repro.sim.state import ClusterState
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.core.base import InterstitialSource
     from repro.sched.base import Scheduler
-
-#: Process-wide default for :attr:`SimConfig.check_invariants` when the
-#: config leaves it unset (None).  Toggled by the CLI's
-#: ``--check-invariants`` flag so experiment drivers deep in the stack
-#: inherit it without plumbing.
-_DEFAULT_CHECK_INVARIANTS = False
-
-
-def set_default_invariant_checking(enabled: bool) -> None:
-    """Set the process-wide default for engine invariant checking."""
-    global _DEFAULT_CHECK_INVARIANTS
-    _DEFAULT_CHECK_INVARIANTS = bool(enabled)
-
-
-def default_invariant_checking() -> bool:
-    """Current process-wide invariant-checking default."""
-    return _DEFAULT_CHECK_INVARIANTS
-
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -72,14 +55,17 @@ class SimConfig:
         Validate cluster accounting (busy == sum of running widths, no
         double allocation, counters in range, monotone event times)
         after every event batch, raising :class:`SimulationError` with
-        a diagnostic snapshot on violation.  ``None`` defers to the
-        process default (see :func:`set_default_invariant_checking`).
+        a diagnostic snapshot on violation.  There is deliberately no
+        process-wide default: callers that want validation plumb the
+        flag explicitly (the CLI threads it through
+        :class:`~repro.experiments.context.RunContext`), keeping the
+        engine free of global state.
     """
 
     horizon: Optional[float] = None
     wake_interval: Optional[float] = None
     until: Optional[float] = None
-    check_invariants: Optional[bool] = None
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.wake_interval is not None and self.wake_interval <= 0:
@@ -89,10 +75,9 @@ class SimConfig:
 
     @property
     def invariants_enabled(self) -> bool:
-        """Resolved invariant-checking flag (config or process default)."""
-        if self.check_invariants is None:
-            return _DEFAULT_CHECK_INVARIANTS
-        return self.check_invariants
+        """Whether the accounting validator runs (alias kept for the
+        engine's call sites)."""
+        return bool(self.check_invariants)
 
 
 class Engine:
@@ -149,6 +134,16 @@ class Engine:
         self._killed: List[Job] = []
         self._dead_lettered: List[Job] = []
         self._trace: List[Job] = list(trace)
+        #: Interstitial jobs are renumbered from here at offer time.
+        #: Relying on the ids the source's constructor drew from the
+        #: process-wide counter would make results depend on process
+        #: history (and collide with unpickled traces in worker
+        #: processes); renumbering pins ids — and therefore the
+        #: id-ordered fault-victim and preemption draws — to the trace
+        #: alone.
+        self._interstitial_ids = itertools.count(
+            max((job.job_id for job in self._trace), default=0) + 1
+        )
         self._last_submit = 0.0
         #: job_id -> fault-kill count (retry accounting).
         self._attempts: Dict[int, int] = {}
@@ -401,6 +396,7 @@ class Engine:
         if horizon is not None and t >= horizon:
             return
         for job in source.offer(t, self.cluster, self.scheduler):
+            job.job_id = next(self._interstitial_ids)
             self._start(job, t)
 
     def _preempt_for_head(self, t: float) -> bool:

@@ -1,0 +1,204 @@
+"""Content-addressed store for simulation runs.
+
+Every simulation in this repo is a deterministic function of its full
+configuration — machine, trace parameters, scheduler, interstitial
+controller, fault model and experiment scale.  :class:`RunStore`
+therefore memoizes run products under the SHA-256 digest of a
+canonical JSON rendering of that configuration instead of ad-hoc name
+tuples: two call sites that describe the same run always share one
+entry, and two runs that differ in *any* configuration field (down to
+a fault seed) can never collide.
+
+The store has two layers:
+
+* an in-process dictionary (always on), which is what makes replaying
+  the ~25 paper experiments tractable — they endlessly reuse the same
+  three machine baselines and continual logs; and
+* an optional on-disk layer (``path=...``): each entry is pickled to
+  ``<digest>.pkl`` with an atomic rename, so cooperating processes —
+  the ``repro report --jobs N`` workers, or parallel bench sessions
+  pointed at one ``REPRO_STORE_DIR`` — reuse each other's runs instead
+  of recomputing them.
+
+Unreadable or torn disk entries are treated as misses (a concurrent
+writer may be mid-flight); determinism makes recomputation safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, TypeVar, Union
+
+T = TypeVar("T")
+
+
+def canonical_payload(value: Any) -> Any:
+    """Reduce a key payload to canonically-ordered JSON primitives.
+
+    Mappings are sorted by (string) key, sequences become lists, and
+    floats are tagged with their ``repr`` so ``1.0`` and ``1`` hash
+    differently and no precision is lost.  Anything else is rejected:
+    run keys must be built from plain configuration values, never from
+    live objects whose identity could leak into the address.
+    """
+    if isinstance(value, Mapping):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"payload keys must be strings, got {key!r}"
+                )
+            out[key] = canonical_payload(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(v) for v in value]
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(
+        f"run-key payloads must be JSON-like primitives, got "
+        f"{type(value).__name__}: {value!r}"
+    )
+
+
+def content_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonicalized ``payload``."""
+    text = json.dumps(
+        canonical_payload(payload), separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class RunStore:
+    """Content-addressed memoization of run products.
+
+    Parameters
+    ----------
+    path:
+        Optional directory for the shared on-disk layer.  Created if
+        missing.  ``None`` keeps the store purely in-memory.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._memory: Dict[str, Any] = {}
+        self._path: Optional[Path] = None
+        if path is not None:
+            self._path = Path(path)
+            self._path.mkdir(parents=True, exist_ok=True)
+        #: Diagnostic counters (memory hits / disk hits / computes).
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[Path]:
+        """Directory of the on-disk layer (None when memory-only)."""
+        return self._path
+
+    def key(self, payload: Mapping[str, Any]) -> str:
+        """Content address for a configuration payload."""
+        return content_key(payload)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._disk_file(key) is not None
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key`` in memory, then on disk; ``default`` on miss."""
+        if key in self._memory:
+            return self._memory[key]
+        value = self._read_disk(key)
+        if value is not _MISS:
+            self._memory[key] = value
+            return value
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in memory and (if enabled) disk."""
+        self._memory[key] = value
+        self._write_disk(key, value)
+
+    def get_or_compute(
+        self, payload: Mapping[str, Any], compute: Callable[[], T]
+    ) -> T:
+        """The main entry point: memoized ``compute()`` keyed by the
+        content address of ``payload``."""
+        key = content_key(payload)
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        value = self._read_disk(key)
+        if value is not _MISS:
+            self.disk_hits += 1
+            self._memory[key] = value
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are left alone)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _disk_file(self, key: str) -> Optional[Path]:
+        if self._path is None:
+            return None
+        file = self._path / f"{key}.pkl"
+        return file if file.is_file() else None
+
+    def _read_disk(self, key: str) -> Any:
+        file = self._disk_file(key)
+        if file is None:
+            return _MISS
+        try:
+            with file.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return _MISS
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        if self._path is None:
+            return
+        final = self._path / f"{key}.pkl"
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:12]}-", suffix=".tmp", dir=self._path
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, final)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # The disk layer is an optimization; never fail a run on it.
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self._path) if self._path else "memory"
+        return (
+            f"RunStore({where}: {len(self._memory)} entries, "
+            f"{self.hits}h/{self.disk_hits}d/{self.misses}m)"
+        )
+
+
+#: Unique disk-miss sentinel (None is a legal stored value).
+_MISS = object()

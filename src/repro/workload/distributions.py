@@ -17,7 +17,7 @@ Three model families, each matching a property the paper calls out:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np

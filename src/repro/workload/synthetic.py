@@ -162,11 +162,16 @@ def generate_trace(
     user_p /= user_p.sum()
     user_ids = rng.choice(profile.n_users, size=n, p=user_p)
 
+    # Explicit ids make the trace a pure function of its inputs (the
+    # process-global Job counter would leak allocation history into the
+    # content-addressed run store); the engine numbers interstitial
+    # jobs above the trace's range.
     jobs = []
     for i in range(n):
         uid = int(user_ids[i])
         jobs.append(
             Job(
+                job_id=i + 1,
                 cpus=int(widths[i]),
                 runtime=float(runtimes[i]),
                 estimate=float(estimates[i]),

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.composite import CompositeInterstitialSource, _BudgetedView
 from repro.core.controller import InterstitialController
-from repro.core.runners import run_native, run_with_controller
+from repro.core.runners import run_with_controller
 from repro.errors import ConfigurationError
 from repro.jobs import InterstitialProject
 from repro.machines import Machine

@@ -1,6 +1,5 @@
 """Tests for the Figure-1 interstitial controller."""
 
-import math
 
 import pytest
 

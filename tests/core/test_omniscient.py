@@ -1,7 +1,6 @@
 """Tests for the omniscient gap packer, including its central invariant:
 packed interstitial usage never exceeds the native headroom anywhere."""
 
-import math
 
 import numpy as np
 import pytest
@@ -13,7 +12,6 @@ from repro.core.omniscient import (
     headroom_profile,
     pack_project,
 )
-from repro.core.runners import run_native
 from repro.errors import ConfigurationError
 from repro.jobs import InterstitialProject
 from repro.machines import Machine

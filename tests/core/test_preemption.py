@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.controller import InterstitialController
-from repro.core.runners import run_native, run_with_controller
-from repro.jobs import InterstitialProject, JobKind, JobState
+from repro.core.runners import run_with_controller
+from repro.jobs import InterstitialProject, JobState
 from repro.machines import Machine
 
 from tests.conftest import make_job, random_native_trace

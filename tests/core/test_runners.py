@@ -8,13 +8,13 @@ from repro.core.runners import (
     run_native,
     run_omniscient_samples,
     run_single_project,
-    run_with_controller,
 )
-from repro.core.controller import InterstitialController
-from repro.jobs import InterstitialProject, JobKind, JobState
+from repro.errors import ConfigurationError
+from repro.faults import FaultModel, RetryPolicy
+from repro.jobs import InterstitialProject, JobState
 from repro.machines import Machine
 
-from tests.conftest import make_job, random_native_trace
+from tests.conftest import random_native_trace
 
 
 @pytest.fixture
@@ -126,3 +126,42 @@ class TestRunOmniscientSamples:
             rng=np.random.default_rng(0),
         )
         assert (makespans > 0).all()
+
+    def test_faults_with_precomputed_native_rejected(self, machine, trace):
+        # A fault model cannot retroactively apply to a baseline that
+        # was already simulated; silently dropping it was the old bug.
+        project = InterstitialProject(n_jobs=5, cpus_per_job=2,
+                                      runtime_1ghz=50.0)
+        native = run_native(machine, trace)
+        faults = FaultModel(mtbf=20_000.0, mttr=500.0, seed=3)
+        with pytest.raises(ConfigurationError):
+            run_omniscient_samples(
+                machine, trace, project, n_samples=2,
+                native_result=native, faults=faults,
+            )
+        with pytest.raises(ConfigurationError):
+            run_omniscient_samples(
+                machine, trace, project, n_samples=2,
+                native_result=native,
+                retry=RetryPolicy(max_attempts=2, base_delay=10.0),
+            )
+
+    def test_faults_shape_internal_baseline(self, machine, trace):
+        # Without a pre-computed baseline the fault model must actually
+        # reach the native simulation: a crashy machine stretches the
+        # log, so omniscient makespans shift versus the healthy run.
+        project = InterstitialProject(n_jobs=20, cpus_per_job=2,
+                                      runtime_1ghz=50.0)
+        faults = FaultModel(
+            mtbf=2_000.0, mttr=1_000.0, cpus_per_node=8, seed=11
+        )
+        healthy, _ = run_omniscient_samples(
+            machine, trace, project, n_samples=4,
+            rng=np.random.default_rng(7),
+        )
+        faulty, _ = run_omniscient_samples(
+            machine, trace, project, n_samples=4,
+            rng=np.random.default_rng(7), faults=faults,
+            retry=RetryPolicy(max_attempts=3, base_delay=30.0),
+        )
+        assert not np.array_equal(healthy, faulty)

@@ -1,10 +1,13 @@
 """Micro experiment scale shared by driver tests: small enough to run
 every driver in the unit-test suite, large enough to exercise the full
-pipeline."""
+pipeline.  ``micro_ctx`` is the session-wide RunContext so the ~25
+driver tests share simulation runs through one store, the way the
+report generator does."""
 
 import pytest
 
 from repro.experiments.config import ExperimentScale
+from repro.experiments.context import RunContext
 
 
 @pytest.fixture(scope="session")
@@ -17,3 +20,8 @@ def micro_scale() -> ExperimentScale:
         sampled_projects=20,
         seed=99,
     )
+
+
+@pytest.fixture(scope="session")
+def micro_ctx(micro_scale) -> RunContext:
+    return RunContext(scale=micro_scale)

@@ -4,16 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
-    clear_caches,
-    continual_result_for,
     fmt_h,
     fmt_k,
     fmt_pm_h,
-    native_result_for,
     project_from,
     rng_for,
     scaled_kjobs,
-    trace_for,
 )
 from repro.jobs import JobKind
 
@@ -32,8 +28,22 @@ class TestFormatting:
         assert fmt_k(4400.0) == "4.4k"
 
     def test_fmt_k_boundary(self):
+        # The switch to "k" happens where rounding would print "1000".
         assert fmt_k(999.4) == "999"
         assert fmt_k(999.6) == "1.0k"
+
+    def test_fmt_k_drops_decimal_at_100k(self):
+        # Above ~100k the decimal carries no information ("123.4k" ->
+        # "123k"); the docstring promised this but the old
+        # implementation kept one decimal forever.
+        assert fmt_k(99_900.0) == "99.9k"
+        assert fmt_k(99_960.0) == "100k"
+        assert fmt_k(123_400.0) == "123k"
+
+    def test_fmt_k_never_prints_inconsistent_rounding(self):
+        # 99 950 is the exact hand-off: "{:.1f}" would round it to
+        # "100.0k", so the integer format must already own it.
+        assert fmt_k(99_950.0) == "100k"
 
 
 class TestScaling:
@@ -62,30 +72,40 @@ class TestRng:
         assert a != b
 
 
-class TestCaches:
-    def test_trace_cached(self, micro_scale):
-        a = trace_for("ross", micro_scale)
-        b = trace_for("ross", micro_scale)
+class TestContextCaching:
+    def test_trace_cached(self, micro_ctx):
+        a = micro_ctx.trace_for("ross")
+        b = micro_ctx.trace_for("ross")
         assert a is b
 
-    def test_unknown_machine(self, micro_scale):
+    def test_unknown_machine(self, micro_ctx):
         with pytest.raises(ConfigurationError):
-            trace_for("asci_white", micro_scale)
+            micro_ctx.trace_for("asci_white")
 
-    def test_native_cached_and_complete(self, micro_scale):
-        result = native_result_for("ross", micro_scale)
-        assert result is native_result_for("ross", micro_scale)
-        trace = trace_for("ross", micro_scale)
+    def test_native_cached_and_complete(self, micro_ctx):
+        result = micro_ctx.native_result_for("ross")
+        assert result is micro_ctx.native_result_for("ross")
+        trace = micro_ctx.trace_for("ross")
         assert len(result.native_jobs) == trace.n_jobs
 
-    def test_continual_cached(self, micro_scale):
-        a, ctrl_a = continual_result_for("ross", micro_scale, 32, 120.0)
-        b, ctrl_b = continual_result_for("ross", micro_scale, 32, 120.0)
+    def test_continual_cached(self, micro_ctx):
+        a, ctrl_a = micro_ctx.continual_result_for("ross", 32, 120.0)
+        b, ctrl_b = micro_ctx.continual_result_for("ross", 32, 120.0)
         assert a is b and ctrl_a is ctrl_b
         assert len(a.jobs(JobKind.INTERSTITIAL)) == ctrl_a.n_submitted
 
-    def test_clear_caches(self, micro_scale):
-        a = trace_for("ross", micro_scale)
-        clear_caches()
-        b = trace_for("ross", micro_scale)
+    def test_contexts_are_isolated(self, micro_scale):
+        from repro.experiments.context import RunContext
+
+        a = RunContext(scale=micro_scale)
+        b = RunContext(scale=micro_scale)
+        assert a.trace_for("ross") is not b.trace_for("ross")
+
+    def test_store_clear_recomputes(self, micro_scale):
+        from repro.experiments.context import RunContext
+
+        ctx = RunContext(scale=micro_scale)
+        a = ctx.trace_for("ross")
+        ctx.store.clear()
+        b = ctx.trace_for("ross")
         assert a is not b

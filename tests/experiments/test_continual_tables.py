@@ -9,7 +9,6 @@ from repro.experiments.continual_tables import (
     column_stats,
 )
 from repro.sim.results import SimResult
-from repro.machines import Machine
 
 from tests.conftest import make_job
 
@@ -49,9 +48,9 @@ class TestColumnStats:
 
 
 class TestBuild:
-    def test_standard_shape(self, micro_scale):
+    def test_standard_shape(self, micro_ctx):
         result = build(
-            "test_exp", "ross", micro_scale, "Ross (test)"
+            "test_exp", "ross", micro_ctx, "Ross (test)"
         )
         assert result.exp_id == "test_exp"
         # Baseline + one column per continual runtime.
@@ -63,9 +62,9 @@ class TestBuild:
         assert labels[0] == "Native Jobs"
         assert str(CONTINUAL_CPUS) in labels[1]
 
-    def test_cap_variant(self, micro_scale):
+    def test_cap_variant(self, micro_ctx):
         capped = build(
-            "test_capped", "ross", micro_scale, "Ross (test)",
+            "test_capped", "ross", micro_ctx, "Ross (test)",
             max_utilization=0.9,
         )
         assert "90%" in capped.title

@@ -51,8 +51,8 @@ ALL_DRIVERS = [
 @pytest.mark.parametrize(
     "driver", ALL_DRIVERS, ids=lambda d: d.__name__.rsplit(".", 1)[-1]
 )
-def test_driver_produces_wellformed_table(driver, micro_scale):
-    result = driver.run(micro_scale)
+def test_driver_produces_wellformed_table(driver, micro_ctx):
+    result = driver.run(micro_ctx)
     assert result.exp_id
     assert result.title
     assert result.headers
@@ -64,8 +64,8 @@ def test_driver_produces_wellformed_table(driver, micro_scale):
 
 
 class TestShapeClaims:
-    def test_table1_machines_configured(self, micro_scale):
-        data = table1.run(micro_scale).data
+    def test_table1_machines_configured(self, micro_ctx):
+        data = table1.run(micro_ctx).data
         assert data["blue_mountain"]["cpus"] == 4662
         assert data["blue_pacific"]["measured_utilization"] > 0.3
         # Offered load is calibrated to the paper's target exactly.
@@ -74,8 +74,8 @@ class TestShapeClaims:
                 data[m]["paper_utilization"], abs=0.05
             )
 
-    def test_table2_makespan_grows_with_size(self, micro_scale):
-        points = table2.run(micro_scale).data["points"]
+    def test_table2_makespan_grows_with_size(self, micro_ctx):
+        points = table2.run(micro_ctx).data["points"]
         for machine, pts in points.items():
             by_width = {}
             for p in pts:
@@ -88,8 +88,8 @@ class TestShapeClaims:
                 spans = [m for _, m in series]
                 assert spans == sorted(spans), (machine, series)
 
-    def test_table3_breakage_finite_and_ordered(self, micro_scale):
-        data = table3.run(micro_scale).data
+    def test_table3_breakage_finite_and_ordered(self, micro_ctx):
+        data = table3.run(micro_ctx).data
         # Blue Pacific has the worst theoretical breakage of the three
         # (its free pool is the smallest multiple of 32).
         theory = data["theory_paper_u"]
@@ -99,12 +99,12 @@ class TestShapeClaims:
         for ratio in data["actual"].values():
             assert math.isfinite(ratio) and ratio > 0.5
 
-    def test_fit_theory_positive_slope(self, micro_scale):
-        fit = fit_theory.run(micro_scale).data["fit"]
+    def test_fit_theory_positive_slope(self, micro_ctx):
+        fit = fit_theory.run(micro_ctx).data["fit"]
         assert fit.slope > 0.5
 
-    def test_table6_utilization_gain(self, micro_scale):
-        cols = table6.run(micro_scale).data["columns"]
+    def test_table6_utilization_gain(self, micro_ctx):
+        cols = table6.run(micro_ctx).data["columns"]
         labels = list(cols)
         baseline = cols[labels[0]]
         boosted = cols[labels[1]]
@@ -113,8 +113,8 @@ class TestShapeClaims:
         )
         assert boosted["native_jobs"] == baseline["native_jobs"]
 
-    def test_table8_limited_monotone_caps(self, micro_scale):
-        cols = table8_limited.run(micro_scale).data["columns"]
+    def test_table8_limited_monotone_caps(self, micro_ctx):
+        cols = table8_limited.run(micro_ctx).data["columns"]
         jobs = [
             cols[label]["interstitial_jobs"]
             for label in ("util < 90%", "util < 95%", "util < 98%")
@@ -122,8 +122,8 @@ class TestShapeClaims:
         assert jobs == sorted(jobs)
         assert jobs[-1] <= cols["uncapped"]["interstitial_jobs"]
 
-    def test_fig4_interstitial_flattens_utilization(self, micro_scale):
-        data = fig4.run(micro_scale).data
+    def test_fig4_interstitial_flattens_utilization(self, micro_ctx):
+        data = fig4.run(micro_ctx).data
         import numpy as np
 
         without = np.array(data["without interstitial"]["utilization"])
@@ -131,32 +131,32 @@ class TestShapeClaims:
         assert with_i.mean() > without.mean()
         assert with_i.std() < without.std()
 
-    def test_fig5_histograms_normalized(self, micro_scale):
-        data = fig5.run(micro_scale).data
+    def test_fig5_histograms_normalized(self, micro_ctx):
+        data = fig5.run(micro_ctx).data
         for hist in data.values():
             assert sum(hist) == pytest.approx(1.0)
 
-    def test_fig5_interstitial_shifts_mass_right(self, micro_scale):
-        data = fig5.run(micro_scale).data
+    def test_fig5_interstitial_shifts_mass_right(self, micro_ctx):
+        data = fig5.run(micro_ctx).data
         labels = list(data)
         baseline_first_bin = data[labels[0]][0]
         for label in labels[1:]:
             assert data[label][0] <= baseline_first_bin + 1e-9
 
-    def test_ablation_width_theory_monotone(self, micro_scale):
-        data = ablation_width.run(micro_scale).data
+    def test_ablation_width_theory_monotone(self, micro_ctx):
+        data = ablation_width.run(micro_ctx).data
         theories = [v["theory_breakage"] for v in data.values()]
         finite = [t for t in theories if math.isfinite(t)]
         assert finite == sorted(finite)
 
-    def test_ablation_preemption_waste_counted(self, micro_scale):
-        data = ablation_preemption.run(micro_scale).data
+    def test_ablation_preemption_waste_counted(self, micro_ctx):
+        data = ablation_preemption.run(micro_ctx).data
         pre = data["preemptible"]
         assert pre["wasted_cpu_h"] >= 0.0
         assert pre["n_preempted"] >= 0
 
-    def test_fault_ablation_failures_scale_with_rate(self, micro_scale):
-        data = fault_ablation.run(micro_scale).data
+    def test_fault_ablation_failures_scale_with_rate(self, micro_ctx):
+        data = fault_ablation.run(micro_ctx).data
         assert data["no faults"]["n_failures"] == 0
         assert data["no faults"]["dead_lettered"] == 0
         counts = [

@@ -15,7 +15,6 @@ from repro.jobs import InterstitialProject, JobKind
 from repro.machines import preset
 from repro.metrics.waits import wait_times
 from repro.sched.presets import scheduler_for
-from repro.theory import ideal_makespan_for
 from repro.workload.synthetic import synthetic_trace_for
 
 

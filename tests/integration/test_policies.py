@@ -3,7 +3,6 @@ exercise the paper's qualitative mechanisms end-to-end."""
 
 import math
 
-import pytest
 
 from repro.core.controller import InterstitialController
 from repro.core.runners import run_native, run_with_controller

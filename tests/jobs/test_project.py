@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ValidationError
 from repro.jobs import InterstitialProject, JobKind
-from repro.machines import Machine, blue_mountain
+from repro.machines import blue_mountain
 
 
 class TestValidation:

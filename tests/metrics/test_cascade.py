@@ -1,6 +1,5 @@
 """Tests for delay-cascade analysis."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

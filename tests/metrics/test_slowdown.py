@@ -1,6 +1,5 @@
 """Tests for bounded slowdown and per-user impact metrics."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

@@ -1,6 +1,5 @@
 """Tests for utilization metrics."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

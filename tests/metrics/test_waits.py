@@ -1,6 +1,5 @@
 """Tests for wait-time statistics."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

@@ -1,6 +1,5 @@
 """Tests for decayed-usage fair-share accounting."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.jobs import Job
 from repro.sched.priority import (
     FcfsPolicy,
     HierarchicalFairSharePolicy,

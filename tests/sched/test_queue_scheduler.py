@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.machines import Machine
 from repro.sched import (
     PerUserRuntimePredictor,
     QueueScheduler,

@@ -2,10 +2,9 @@
 interactions, and determinism guarantees."""
 
 import numpy as np
-import pytest
 
 from repro.core.controller import InterstitialController
-from repro.jobs import InterstitialProject, JobKind
+from repro.jobs import InterstitialProject
 from repro.machines import Machine
 from repro.sched import QueueScheduler, TimeOfDayPolicy, fcfs_scheduler
 from repro.sched.priority import FcfsPolicy

@@ -16,12 +16,7 @@ from repro.errors import SimulationError
 from repro.faults import FaultModel, FaultSchedule, NodeFault, RetryPolicy
 from repro.jobs import InterstitialProject, JobKind, JobState
 from repro.machines import Machine
-from repro.sim.engine import (
-    Engine,
-    SimConfig,
-    default_invariant_checking,
-    set_default_invariant_checking,
-)
+from repro.sim.engine import Engine, SimConfig
 
 from tests.conftest import fcfs, make_job, random_native_trace
 
@@ -215,7 +210,7 @@ class TestCrashSemantics:
 
 
 class TestReproducibility:
-    def _run(self, trace, check_invariants=None):
+    def _run(self, trace, check_invariants=False):
         machine = Machine(name="P", cpus=32, clock_ghz=1.0)
         faults = FaultModel(
             mtbf=20_000.0, mttr=1_000.0, cpus_per_node=4, seed=7
@@ -271,19 +266,19 @@ class TestReproducibility:
 
 
 class TestInvariantChecking:
-    def test_config_overrides_process_default(self):
+    def test_config_flag_controls_checking(self):
         assert SimConfig(check_invariants=True).invariants_enabled
         assert not SimConfig(check_invariants=False).invariants_enabled
 
-    def test_process_default_applies_when_unset(self):
-        assert not default_invariant_checking()
+    def test_off_by_default_with_no_process_global(self):
+        # The old process-wide default was removed with the RunContext
+        # refactor: checking is a plain per-config flag, off unless the
+        # caller threads it through explicitly.
         assert not SimConfig().invariants_enabled
-        set_default_invariant_checking(True)
-        try:
-            assert SimConfig().invariants_enabled
-            assert not SimConfig(check_invariants=False).invariants_enabled
-        finally:
-            set_default_invariant_checking(False)
+        import repro.sim.engine as engine_mod
+
+        assert not hasattr(engine_mod, "set_default_invariant_checking")
+        assert not hasattr(engine_mod, "_DEFAULT_CHECK_INVARIANTS")
 
     def test_detects_corrupted_accounting(self, tiny_machine):
         engine = Engine(tiny_machine, fcfs())
@@ -294,8 +289,8 @@ class TestInvariantChecking:
 
     def test_controller_run_with_faults_under_invariants(self, rng):
         # Integration: continual controller + stochastic faults + retry,
-        # with the validator on via the process-wide default (the CLI's
-        # --check-invariants path).
+        # with the validator threaded through explicitly (the CLI's
+        # --check-invariants path via RunContext).
         machine = Machine(name="P", cpus=32, clock_ghz=1.0)
         trace = random_native_trace(rng, machine, n_jobs=30)
         project = InterstitialProject(
@@ -312,18 +307,15 @@ class TestInvariantChecking:
         faults = FaultModel(
             mtbf=15_000.0, mttr=2_000.0, cpus_per_node=8, seed=5
         )
-        set_default_invariant_checking(True)
-        try:
-            result = run_with_controller(
-                machine,
-                trace,
-                controller,
-                faults=faults,
-                retry=RetryPolicy(max_attempts=3, base_delay=30.0),
-                horizon=60_000.0,
-            )
-        finally:
-            set_default_invariant_checking(False)
+        result = run_with_controller(
+            machine,
+            trace,
+            controller,
+            faults=faults,
+            retry=RetryPolicy(max_attempts=3, base_delay=30.0),
+            horizon=60_000.0,
+            check_invariants=True,
+        )
         assert result.n_failures > 0
         assert controller.n_faults_seen == result.n_failures
         assert len(result.finished) > 0

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.jobs import JobKind
-from repro.machines import Machine
 from repro.sim.engine import Engine, SimConfig
 from repro.sim.results import SimResult
 

@@ -22,6 +22,17 @@ class TestParser:
         args = build_parser().parse_args(["table1", "--scale", "quick"])
         assert args.scale == "quick"
 
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["report", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["report"]).jobs == 1
+
+    def test_store_option(self, tmp_path):
+        store = str(tmp_path / "runs")
+        args = build_parser().parse_args(["table1", "--store", store])
+        assert args.store == store
+        assert build_parser().parse_args(["table1"]).store is None
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -35,3 +46,11 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Blue Mt." in out
+
+    def test_store_dir_populated(self, capsys, tmp_path):
+        store = tmp_path / "runs"
+        code = main(
+            ["table1", "--scale", "quick", "--store", str(store)]
+        )
+        assert code == 0
+        assert any(p.suffix == ".pkl" for p in store.iterdir())

@@ -1,0 +1,107 @@
+"""Tests for the content-addressed run store."""
+
+import pickle
+
+import pytest
+
+from repro.store import RunStore, canonical_payload, content_key
+
+
+class TestCanonicalPayload:
+    def test_floats_tagged_with_repr(self):
+        assert canonical_payload(1.0) == "float:1.0"
+        assert canonical_payload(1) == 1
+        assert canonical_payload(0.1) == f"float:{0.1!r}"
+
+    def test_mapping_order_irrelevant(self):
+        a = content_key({"a": 1, "b": [2, 3], "c": None})
+        b = content_key({"c": None, "b": (2, 3), "a": 1})
+        assert a == b
+
+    def test_value_changes_change_key(self):
+        base = {"kind": "native", "seed": 7}
+        assert content_key(base) != content_key({**base, "seed": 8})
+        assert content_key(base) != content_key({**base, "seed": 7.0})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError):
+            canonical_payload({1: "x"})
+
+    def test_rejects_live_objects(self):
+        with pytest.raises(TypeError):
+            canonical_payload({"rng": object()})
+
+
+class TestMemoryLayer:
+    def test_get_or_compute_memoizes(self):
+        store = RunStore()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return ["product"]
+
+        payload = {"kind": "test", "x": 1}
+        a = store.get_or_compute(payload, compute)
+        b = store.get_or_compute(payload, compute)
+        assert a is b
+        assert len(calls) == 1
+        assert store.hits == 1 and store.misses == 1
+
+    def test_none_is_a_legal_value(self):
+        store = RunStore()
+        key = store.key({"kind": "none"})
+        store.put(key, None)
+        assert key in store
+        assert store.get(key, default="miss") is None
+
+    def test_clear_drops_memory(self):
+        store = RunStore()
+        payload = {"kind": "test"}
+        a = store.get_or_compute(payload, lambda: object())
+        store.clear()
+        b = store.get_or_compute(payload, lambda: object())
+        assert a is not b
+
+
+class TestDiskLayer:
+    def test_cross_store_roundtrip(self, tmp_path):
+        payload = {"kind": "test", "v": [1, 2.5]}
+        writer = RunStore(tmp_path)
+        value = writer.get_or_compute(payload, lambda: {"answer": 42})
+        reader = RunStore(tmp_path)
+        got = reader.get_or_compute(
+            payload, lambda: pytest.fail("should hit disk")
+        )
+        assert got == value
+        assert reader.disk_hits == 1 and reader.misses == 0
+
+    def test_entries_named_by_digest(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = {"kind": "test"}
+        store.get_or_compute(payload, lambda: 1)
+        assert (tmp_path / f"{content_key(payload)}.pkl").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        payload = {"kind": "test"}
+        (tmp_path / f"{content_key(payload)}.pkl").write_bytes(
+            b"not a pickle"
+        )
+        store = RunStore(tmp_path)
+        assert store.get_or_compute(payload, lambda: "recomputed") == (
+            "recomputed"
+        )
+        assert store.misses == 1
+        # The recompute repairs the disk entry in place.
+        with (tmp_path / f"{content_key(payload)}.pkl").open("rb") as fh:
+            assert pickle.load(fh) == "recomputed"
+
+    def test_clear_keeps_disk(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = {"kind": "test"}
+        store.get_or_compute(payload, lambda: "v")
+        store.clear()
+        assert len(store) == 0
+        assert store.get_or_compute(
+            payload, lambda: pytest.fail("disk entry lost")
+        ) == "v"

@@ -7,7 +7,7 @@ from repro.jobs import InterstitialProject
 from repro.machines import blue_mountain, blue_pacific, ross
 from repro.theory import ideal_makespan, ideal_makespan_for
 from repro.theory.makespan import predicted_makespan
-from repro.units import HOUR, PETA
+from repro.units import HOUR
 
 
 class TestIdealMakespan:

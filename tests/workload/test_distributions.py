@@ -1,6 +1,5 @@
 """Tests for the job attribute distributions."""
 
-import math
 
 import numpy as np
 import pytest

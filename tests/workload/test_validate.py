@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.jobs import Job
 from repro.machines import Machine
 from repro.workload import Trace, validate_trace
 from repro.workload.synthetic import synthetic_trace_for
