@@ -53,6 +53,15 @@ from repro.metrics import (
     utilization_summary,
     wait_stats,
 )
+from repro.obs import (
+    Counters,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    PhaseTimers,
+    TraceRecord,
+    TraceRecorder,
+)
 from repro.sched import (
     QueueScheduler,
     dpcs_scheduler,
@@ -119,6 +128,14 @@ __all__ = [
     "compute_stats",
     "read_swf",
     "write_swf",
+    # observability
+    "Counters",
+    "TraceRecord",
+    "TraceRecorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "PhaseTimers",
     # metrics
     "wait_stats",
     "makespan_stats",

@@ -5,7 +5,10 @@
 * ``repro list`` — enumerate the available experiments;
 * ``repro report [--scale NAME] [--output PATH] [--jobs N]`` —
   regenerate every table and figure into one markdown report, fanning
-  out over N worker processes.
+  out over N worker processes;
+* ``repro profile <experiment>`` — run one experiment (or ``all``)
+  serially with the engine's phase timers attached and print hot-phase
+  wall-clock, aggregated event counters, and store behavior.
 
 ``--store DIR`` persists every simulation run content-addressed under
 DIR, so repeated invocations (and parallel workers) reuse each other's
@@ -13,7 +16,9 @@ results.  ``--check-invariants`` runs every simulation with the
 engine's accounting validator enabled (see
 ``SimConfig.check_invariants``) — slower, but any cluster-state
 inconsistency aborts with a diagnostic snapshot instead of corrupting
-results silently.
+results silently.  ``--trace FILE`` streams one structured JSONL
+record per engine event to FILE (see :mod:`repro.obs`); traces of a
+seeded configuration are byte-deterministic.
 """
 
 from __future__ import annotations
@@ -21,10 +26,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import SCALES, current_scale
 from repro.experiments.context import RunContext
 from repro.experiments.registry import EXPERIMENTS, REPORT_ORDER
-from repro.experiments.report import write_report
+from repro.experiments.report import profile_experiments, write_report
+from repro.obs import JsonlRecorder
 from repro.store import RunStore
 
 
@@ -39,10 +46,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "profile"],
         help=(
             "experiment to run ('all' runs everything, 'list' "
-            "enumerates them, 'report' writes a markdown report)"
+            "enumerates them, 'report' writes a markdown report, "
+            "'profile' times an experiment's engine phases)"
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "experiment to profile (only with 'profile'; accepts any "
+            "experiment name or 'all')"
         ),
     )
     parser.add_argument(
@@ -83,16 +100,47 @@ def build_parser() -> argparse.ArgumentParser:
             "batch (slower; aborts with a diagnostic on violation)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write one JSONL record per engine event to FILE "
+            "(byte-deterministic for a seeded config; incompatible "
+            "with 'report'/'list' and with --store, which would skip "
+            "cached simulations)"
+        ),
+    )
     return parser
+
+
+def _experiment_names(selector: str) -> list:
+    """Expand an experiment selector ('all' or a single name)."""
+    if selector == "all":
+        return list(REPORT_ORDER)
+    return [selector]
 
 
 def main(argv=None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.target is not None and args.experiment != "profile":
+        parser.error("a target experiment is only valid with 'profile'")
+    if args.trace is not None:
+        if args.experiment in ("report", "profile"):
+            parser.error(f"--trace cannot be combined with "
+                         f"{args.experiment!r}")
+        if args.store is not None:
+            parser.error(
+                "--trace needs a fresh in-memory store (cached runs "
+                "skip the engine and would leave holes in the trace); "
+                "drop --store"
+            )
     scale = SCALES[args.scale] if args.scale else current_scale()
     ctx = RunContext(
         scale=scale,
@@ -103,14 +151,31 @@ def main(argv=None) -> int:
         path = write_report(args.output, ctx=ctx, jobs=max(1, args.jobs))
         print(f"wrote {path}")
         return 0
-    names = (
-        list(REPORT_ORDER) if args.experiment == "all"
-        else [args.experiment]
-    )
-    for name in names:
-        result = EXPERIMENTS[name](ctx)
-        print(result.render())
-        print()
+    if args.experiment == "profile":
+        if args.target is None:
+            parser.error("profile needs a target experiment, e.g. "
+                         "'repro profile table2'")
+        if args.target != "all" and args.target not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {args.target!r}; see 'repro list'"
+            )
+        print(profile_experiments(_experiment_names(args.target), ctx))
+        return 0
+    recorder = None
+    if args.trace is not None:
+        recorder = JsonlRecorder(args.trace)
+        ctx.recorder = recorder
+    try:
+        for name in _experiment_names(args.experiment):
+            result = EXPERIMENTS[name](ctx)
+            print(result.render())
+            print()
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if recorder is not None:
+        print(f"wrote {recorder.n_records} trace records to {args.trace}",
+              file=sys.stderr)
     return 0
 
 

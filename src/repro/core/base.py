@@ -8,6 +8,11 @@ from typing import TYPE_CHECKING, List
 from repro.jobs import Job
 from repro.sim.state import ClusterState
 
+#: Sentinel for sources that never throttle (shared so the engine's
+#: per-pass ``throttled_until`` read costs one attribute lookup, not a
+#: float parse).
+_NEVER_THROTTLED = float("-inf")
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sched.base import Scheduler
 
@@ -64,3 +69,14 @@ class InterstitialSource(abc.ABC):
         job was killed by it.  Sources may use it to degrade gracefully
         (e.g. throttle submission while the machine is flaky).
         """
+
+    @property
+    def throttled_until(self) -> float:
+        """Time until which the source suppresses submission after
+        recent faults (``-inf`` when it never throttles).
+
+        The engine reads this to attribute empty offers to graceful
+        degradation in the observability trace (``fault_throttle``
+        records) rather than to a lack of work or room.
+        """
+        return _NEVER_THROTTLED

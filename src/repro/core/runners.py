@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import InterstitialProject, Job
 from repro.machines import Machine
+from repro.obs import PhaseTimers, TraceRecorder
 from repro.sched.base import Scheduler
 from repro.sched.presets import scheduler_for
 from repro.sim.engine import Engine, SimConfig
@@ -45,6 +46,8 @@ def run_native(
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
     check_invariants: bool = False,
+    recorder: Optional[TraceRecorder] = None,
+    timers: Optional[PhaseTimers] = None,
 ) -> SimResult:
     """Replay the native trace with no interstitial jobs (the baseline
     every experiment compares against)."""
@@ -56,6 +59,8 @@ def run_native(
         faults=faults,
         retry=retry,
         config=SimConfig(horizon=horizon, check_invariants=check_invariants),
+        recorder=recorder,
+        timers=timers,
     )
     return engine.run()
 
@@ -70,6 +75,8 @@ def run_with_controller(
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
     check_invariants: bool = False,
+    recorder: Optional[TraceRecorder] = None,
+    timers: Optional[PhaseTimers] = None,
 ) -> SimResult:
     """Replay the native trace alongside a configured interstitial
     controller (finite project, continual or limited)."""
@@ -82,6 +89,8 @@ def run_with_controller(
         faults=faults,
         retry=retry,
         config=SimConfig(horizon=horizon, check_invariants=check_invariants),
+        recorder=recorder,
+        timers=timers,
     )
     return engine.run()
 
@@ -97,6 +106,8 @@ def run_continual(
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
     check_invariants: bool = False,
+    recorder: Optional[TraceRecorder] = None,
+    timers: Optional[PhaseTimers] = None,
 ) -> Tuple[SimResult, InterstitialController]:
     """Continual interstitial computing (§4.3.2): feed interstitial jobs
     from the start of the run until ``horizon`` (default: last native
@@ -119,6 +130,8 @@ def run_continual(
         retry=retry,
         horizon=horizon,
         check_invariants=check_invariants,
+        recorder=recorder,
+        timers=timers,
     )
     return result, controller
 
@@ -131,6 +144,8 @@ def run_single_project(
     scheduler: Optional[Scheduler] = None,
     outages: Optional[OutageSchedule] = None,
     check_invariants: bool = False,
+    recorder: Optional[TraceRecorder] = None,
+    timers: Optional[PhaseTimers] = None,
 ) -> Tuple[SimResult, InterstitialController]:
     """Drop one finite project into the job stream at ``start_time``
     (§4.3.1 without the continual-sampling shortcut)."""
@@ -146,6 +161,8 @@ def run_single_project(
         scheduler=scheduler,
         outages=outages,
         check_invariants=check_invariants,
+        recorder=recorder,
+        timers=timers,
     )
     return result, controller
 

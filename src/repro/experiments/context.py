@@ -38,6 +38,7 @@ from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import InterstitialProject
 from repro.machines import Machine, preset
 from repro.machines.presets import preset_names
+from repro.obs import PhaseTimers, TraceRecorder
 from repro.sim.results import SimResult
 from repro.store import RunStore
 from repro.workload.synthetic import synthetic_trace_for
@@ -83,11 +84,23 @@ class RunContext:
         enabled (the CLI's ``--check-invariants``).  Excluded from run
         keys: validation never changes results (and a dedicated test
         enforces that).
+    recorder:
+        Optional :class:`~repro.obs.TraceRecorder` handed to every
+        simulation this context computes (the CLI's ``--trace``).
+        Observability state, so — like ``check_invariants`` — excluded
+        from run keys; note that store *hits* skip the engine and thus
+        emit no records, so tracing wants a fresh (in-memory) store.
+    timers:
+        Optional :class:`~repro.obs.PhaseTimers` shared by every
+        simulation this context computes (``repro profile``); same
+        store-hit caveat as ``recorder``.
     """
 
     scale: ExperimentScale
     store: RunStore = field(default_factory=RunStore)
     check_invariants: bool = False
+    recorder: Optional[TraceRecorder] = None
+    timers: Optional[PhaseTimers] = None
     #: Per-context memo of finished driver artifacts (TableResults),
     #: for drivers whose output other drivers consume (e.g. table2).
     _artifacts: Dict[str, TableResult] = field(
@@ -163,6 +176,8 @@ class RunContext:
                 retry=retry,
                 horizon=trace.duration,
                 check_invariants=self.check_invariants,
+                recorder=self.recorder,
+                timers=self.timers,
             )
 
         return self.store.get_or_compute(payload, compute)
@@ -215,6 +230,8 @@ class RunContext:
                 retry=retry,
                 horizon=trace.duration,
                 check_invariants=self.check_invariants,
+                recorder=self.recorder,
+                timers=self.timers,
             )
             return result, controller
 

@@ -24,11 +24,43 @@ from __future__ import annotations
 
 import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentScale
 from repro.experiments.context import RunContext
+from repro.obs import Counters
+from repro.sim.results import SimResult
 from repro.store import RunStore
+
+
+def _sim_results(value) -> Iterator[SimResult]:
+    """Yield every :class:`SimResult` inside one store product (bare,
+    or packed in the ``(result, controller)`` tuples continual runs
+    store)."""
+    if isinstance(value, SimResult):
+        yield value
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            if isinstance(item, SimResult):
+                yield item
+
+
+def aggregate_counters(ctx: RunContext) -> Counters:
+    """Merge the :class:`~repro.obs.Counters` of every simulation the
+    context's store holds, plus the store's own memoization hit counts.
+
+    This is the experiment-level view of the engine counters: after
+    ``run_experiments`` (serial) or a ``repro profile`` run, it answers
+    "how many events/passes/preemptions did this table actually cost".
+    Parallel workers hold their own stores, so with ``jobs > 1`` the
+    aggregate covers only what the calling process computed or loaded.
+    """
+    total = Counters()
+    for value in ctx.store.values():
+        for result in _sim_results(value):
+            total.merge(result.counters)
+    total.cache_hits += ctx.store.hits + ctx.store.disk_hits
+    return total
 
 
 def _render_one(

@@ -1,0 +1,41 @@
+"""Opt-in observability for the simulation engine.
+
+Three orthogonal instruments, all zero-overhead unless requested:
+
+* :class:`TraceRecorder` — structured per-event records of engine
+  behavior (:class:`NullRecorder` default, :class:`MemoryRecorder` for
+  in-process analysis/tests, buffered :class:`JsonlRecorder` for
+  byte-deterministic on-disk traces, the substrate of the golden-trace
+  regression suite);
+* :class:`Counters` — always-on integer event counters surfaced on
+  ``SimResult.counters`` and mergeable across runs/experiments;
+* :class:`PhaseTimers` — ``perf_counter``-based wall-clock accounting
+  of the engine's hot phases, behind ``repro profile <experiment>``.
+
+The package is a dependency leaf: nothing here imports the simulator,
+so ``repro.sim`` (and everything above it) can import ``repro.obs``
+freely.
+"""
+
+from repro.obs.counters import Counters
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecord,
+    TraceRecorder,
+)
+from repro.obs.timers import PhaseStat, PhaseTimers
+
+__all__ = [
+    "Counters",
+    "TraceRecord",
+    "TraceRecorder",
+    "NullRecorder",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "PhaseStat",
+    "PhaseTimers",
+]

@@ -1,0 +1,91 @@
+"""Always-on engine event counters.
+
+:class:`Counters` is a flat integer registry the engine increments as
+it processes events; each :class:`~repro.sim.results.SimResult` carries
+the final values.  Increments are plain attribute adds, cheap enough to
+leave on unconditionally — which is what makes them trustworthy: the
+counters a test reconciles against aggregates are the ones production
+runs collected too, not a parallel instrumented build.
+
+Counters from many runs merge additively (:meth:`merge`), which is how
+``repro profile`` and the experiment executor aggregate across every
+simulation an experiment triggered.  ``cache_hits`` is the one field
+the engine never touches: the store layer's hit count is merged in by
+the aggregation helpers, so one registry describes both simulation and
+memoization behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class Counters:
+    """Integer event counters for one simulation run (or a merged set).
+
+    Attributes
+    ----------
+    events:
+        Simulator events handled (every kind, including wakes).
+    scheduling_passes:
+        Scheduling passes executed (one per event batch).
+    submits:
+        Native SUBMIT events processed.
+    starts:
+        Jobs allocated CPUs (native and interstitial).
+    finishes:
+        Jobs that ran to completion.
+    requeues:
+        Fault-killed natives re-entering the queue (RESUBMIT events).
+    preemptions:
+        Interstitial jobs killed to seat a blocked native head job.
+    fault_kills:
+        Jobs killed by node failures (native and interstitial).
+    failures, repairs, outages, wakes:
+        Capacity/wake events processed, by kind.
+    backfill_starts:
+        Native jobs started out of priority order (around a blocked,
+        higher-priority job) by the scheduler's backfill.
+    fault_throttle_passes:
+        Scheduling passes during which the interstitial source was
+        suppressed by its fault throttle.
+    invariant_checks:
+        Post-batch accounting validations executed
+        (``check_invariants`` mode).
+    cache_hits:
+        Run-store memoization hits (merged in by the aggregation
+        layer; always 0 on a single engine run).
+    """
+
+    events: int = 0
+    scheduling_passes: int = 0
+    submits: int = 0
+    starts: int = 0
+    finishes: int = 0
+    requeues: int = 0
+    preemptions: int = 0
+    fault_kills: int = 0
+    failures: int = 0
+    repairs: int = 0
+    outages: int = 0
+    wakes: int = 0
+    backfill_starts: int = 0
+    fault_throttle_passes: int = 0
+    invariant_checks: int = 0
+    cache_hits: int = 0
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Add ``other``'s counts into this registry; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field -> value mapping in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __bool__(self) -> bool:
+        """True when any counter is non-zero."""
+        return any(getattr(self, f.name) for f in fields(self))

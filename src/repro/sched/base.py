@@ -25,6 +25,12 @@ from repro.sim.state import ClusterState
 class Scheduler(abc.ABC):
     """Interface between the engine and a native queueing policy."""
 
+    #: Cumulative count of jobs started *out of priority order* (i.e.
+    #: backfilled around a blocked, higher-priority job).  Concrete
+    #: schedulers that backfill maintain it; the engine copies the
+    #: final value into ``SimResult.counters.backfill_starts``.
+    n_backfill_starts: int = 0
+
     @abc.abstractmethod
     def submit(self, job: Job, t: float) -> None:
         """Enqueue a newly arrived native job."""

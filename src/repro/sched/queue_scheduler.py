@@ -63,6 +63,7 @@ class QueueScheduler(Scheduler):
         self.backfill = backfill
         self.timeofday = timeofday
         self.predictor = predictor
+        self.n_backfill_starts = 0
         self._queue: List[Job] = []
 
     # ------------------------------------------------------------------
@@ -107,6 +108,16 @@ class QueueScheduler(Scheduler):
                 backfill=self.backfill is BackfillMode.EASY,
             )
         started_ids = {job.job_id for job in starts}
+        # A start is a *backfill* start when some higher-priority
+        # eligible job stayed queued — the job jumped a blocked
+        # predecessor rather than running in turn.
+        in_priority_prefix = True
+        for job in eligible:
+            if job.job_id in started_ids:
+                if not in_priority_prefix:
+                    self.n_backfill_starts += 1
+            else:
+                in_priority_prefix = False
         self._queue = [j for j in self._queue if j.job_id not in started_ids]
         return starts
 

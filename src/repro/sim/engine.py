@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import Job, JobState
 from repro.machines import Machine
+from repro.obs import NULL_RECORDER, Counters, PhaseTimers, TraceRecord, TraceRecorder
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.outages import OutageSchedule
 from repro.sim.results import SimResult
@@ -106,6 +107,16 @@ class Engine:
         instead route through the source's ``on_preempted`` path.
     config:
         Engine options.
+    recorder:
+        Optional :class:`~repro.obs.TraceRecorder` receiving one
+        structured record per engine event.  Defaults to the shared
+        :data:`~repro.obs.NULL_RECORDER` (a single attribute check per
+        emission site); recorders observe but never influence the
+        simulation.
+    timers:
+        Optional :class:`~repro.obs.PhaseTimers` accumulating
+        wall-clock spans of event dispatch, the scheduling pass and
+        fault application (``repro profile``).
     """
 
     def __init__(
@@ -118,6 +129,8 @@ class Engine:
         faults: Optional[FaultModel] = None,
         retry: Optional[RetryPolicy] = None,
         config: Optional[SimConfig] = None,
+        recorder: Optional[TraceRecorder] = None,
+        timers: Optional[PhaseTimers] = None,
     ) -> None:
         self.machine = machine
         self.scheduler = scheduler
@@ -128,6 +141,12 @@ class Engine:
             RetryPolicy() if faults is not None else None
         )
         self.config = config or SimConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: Hot-path gate: one attribute read decides whether records
+        #: are constructed at all.
+        self._rec = self.recorder.enabled
+        self.timers = timers
+        self.counters = Counters()
         self.cluster = ClusterState(machine)
         self.events = EventQueue()
         self._finished: List[Job] = []
@@ -155,6 +174,8 @@ class Engine:
         self._expected_finish: Dict[int, float] = {}
         self._fault_transitions: List[Tuple[float, int]] = []
         self._n_failures = 0
+        #: Jobs started during the current scheduling pass (trace detail).
+        self._pass_starts = 0
         self._victim_rng: Optional[np.random.Generator] = (
             faults.victim_rng() if faults is not None else None
         )
@@ -173,6 +194,31 @@ class Engine:
             )
 
     # ------------------------------------------------------------------
+    def _record(
+        self,
+        time: float,
+        kind: str,
+        job: Optional[Job] = None,
+        detail: Optional[int] = None,
+    ) -> None:
+        """Emit one trace record snapshotting queue/occupancy state.
+
+        Callers gate on ``self._rec`` so a disabled recorder never even
+        constructs the record.
+        """
+        self.recorder.record(
+            TraceRecord(
+                time=time,
+                kind=kind,
+                job_id=None if job is None else job.job_id,
+                cpus=None if job is None else job.cpus,
+                queue_depth=self.scheduler.queue_length,
+                busy_cpus=self.cluster.busy_cpus,
+                free_cpus=self.cluster.free_cpus,
+                detail=detail,
+            )
+        )
+
     def run(self) -> SimResult:
         """Run to completion and return the collected results."""
         for job in self._trace:
@@ -190,6 +236,18 @@ class Engine:
         if self.config.wake_interval is not None and wake_until > 0:
             self.events.push(self.config.wake_interval, EventKind.WAKE, None)
         check = self.config.invariants_enabled
+        counters = self.counters
+        timers = self.timers
+        if self._rec:
+            self.recorder.record(
+                TraceRecord(
+                    time=0.0,
+                    kind="run_start",
+                    cpus=self.machine.cpus,
+                    free_cpus=self.machine.cpus,
+                    detail=len(self._trace),
+                )
+            )
 
         t = 0.0
         while self.events:
@@ -207,11 +265,20 @@ class Engine:
                     f"time went backwards: {batch[0].time} < {t}"
                 )
             t = batch[0].time
+            counters.events += len(batch)
+            if timers is not None:
+                timers.start("event_dispatch")
             for event in batch:
                 self._handle(event, t, wake_until)
+            if timers is not None:
+                timers.stop("event_dispatch")
+                timers.start("scheduling_pass")
             self._scheduling_pass(t)
+            if timers is not None:
+                timers.stop("scheduling_pass")
             if check:
                 self._check_invariants(t)
+                counters.invariant_checks += 1
             if not self.events and self.scheduler.queue_length > 0:
                 # Stall recovery: jobs remain queued (e.g. held by a
                 # time-of-day policy) but no event will ever re-run the
@@ -222,6 +289,8 @@ class Engine:
                 self.events.push(
                     t + self._stall_interval(), EventKind.WAKE, None
                 )
+        if self._rec:
+            self._record(t, "run_end", detail=len(self._finished))
         return self._collect(t)
 
     def _stall_interval(self) -> float:
@@ -258,6 +327,9 @@ class Engine:
             job: Job = event.payload
             job.state = JobState.QUEUED
             self.scheduler.submit(job, t)
+            self.counters.submits += 1
+            if self._rec:
+                self._record(t, "submit", job)
         elif event.kind is EventKind.FINISH:
             job = event.payload
             if job.state is not JobState.RUNNING:
@@ -270,16 +342,29 @@ class Engine:
             job.state = JobState.FINISHED
             self.scheduler.on_finish(job, t)
             self._finished.append(job)
+            self.counters.finishes += 1
+            if self._rec:
+                self._record(t, "finish", job)
         elif event.kind is EventKind.OUTAGE:
             self.cluster.down_cpus += int(event.payload)
             if self.cluster.down_cpus < 0:
                 raise SimulationError("negative down CPU count")
+            self.counters.outages += 1
+            if self._rec:
+                self._record(t, "outage", detail=int(event.payload))
         elif event.kind is EventKind.FAILURE:
+            if self.timers is not None:
+                self.timers.start("fault_apply")
             self._apply_failure(int(event.payload), t)
+            if self.timers is not None:
+                self.timers.stop("fault_apply")
         elif event.kind is EventKind.REPAIR:
             self.cluster.failed_cpus -= int(event.payload)
             if self.cluster.failed_cpus < 0:
                 raise SimulationError("negative failed CPU count")
+            self.counters.repairs += 1
+            if self._rec:
+                self._record(t, "repair", detail=int(event.payload))
         elif event.kind is EventKind.RESUBMIT:
             job = event.payload
             self._awaiting_retry.pop(job.job_id, None)
@@ -287,9 +372,13 @@ class Engine:
             job.start_time = None
             job.finish_time = None
             self.scheduler.submit(job, t)
+            self.counters.requeues += 1
+            if self._rec:
+                self._record(t, "requeue", job)
         elif event.kind is EventKind.WAKE:
             # Periodic wake-ups re-arm themselves within their window;
             # stall-recovery wakes (pushed by the main loop) do not.
+            self.counters.wakes += 1
             interval = self.config.wake_interval
             if interval is not None and t + interval <= wake_until:
                 self.events.push(t + interval, EventKind.WAKE, None)
@@ -315,6 +404,9 @@ class Engine:
         in_service = self.cluster.available_cpus
         self.cluster.failed_cpus += cpus
         self._n_failures += 1
+        self.counters.failures += 1
+        if self._rec:
+            self._record(t, "failure", detail=cpus)
         if self._victim_rng is None:
             raise SimulationError("FAILURE event without a fault model")
         busy_eff = min(self.cluster.busy_cpus, in_service)
@@ -341,6 +433,9 @@ class Engine:
             self._expected_finish.pop(victim.job_id, None)
             victim.state = JobState.KILLED
             victim.finish_time = t
+            self.counters.fault_kills += 1
+            if self._rec:
+                self._record(t, "kill", victim)
             if victim.is_interstitial:
                 self._killed.append(victim)
                 interstitial_victims.append(victim)
@@ -383,21 +478,31 @@ class Engine:
         """One pass: native policy to quiescence, then (optionally)
         preemption of interstitial jobs for a blocked native head job,
         then interstitial feeding."""
-        for job in self.scheduler.schedule(t, self.cluster):
-            self._start(job, t)
-        source = self.interstitial
-        if source is None:
-            return
-        if source.preemptible and self.scheduler.queue_length > 0:
-            if self._preempt_for_head(t):
-                for job in self.scheduler.schedule(t, self.cluster):
-                    self._start(job, t)
-        horizon = self.config.horizon
-        if horizon is not None and t >= horizon:
-            return
-        for job in source.offer(t, self.cluster, self.scheduler):
-            job.job_id = next(self._interstitial_ids)
-            self._start(job, t)
+        self.counters.scheduling_passes += 1
+        self._pass_starts = 0
+        try:
+            for job in self.scheduler.schedule(t, self.cluster):
+                self._start(job, t)
+            source = self.interstitial
+            if source is None:
+                return
+            if source.preemptible and self.scheduler.queue_length > 0:
+                if self._preempt_for_head(t):
+                    for job in self.scheduler.schedule(t, self.cluster):
+                        self._start(job, t)
+            horizon = self.config.horizon
+            if horizon is not None and t >= horizon:
+                return
+            if t < source.throttled_until:
+                self.counters.fault_throttle_passes += 1
+                if self._rec:
+                    self._record(t, "fault_throttle")
+            for job in source.offer(t, self.cluster, self.scheduler):
+                job.job_id = next(self._interstitial_ids)
+                self._start(job, t)
+        finally:
+            if self._rec:
+                self._record(t, "sched_pass", detail=self._pass_starts)
 
     def _preempt_for_head(self, t: float) -> bool:
         """Kill just enough interstitial jobs (youngest first) so the
@@ -434,6 +539,9 @@ class Engine:
             rec.job.finish_time = t
             killed.append(rec.job)
             freed += rec.job.cpus
+            self.counters.preemptions += 1
+            if self._rec:
+                self._record(t, "preempt", rec.job)
         self._killed.extend(killed)
         if self.interstitial is None:
             raise SimulationError(
@@ -448,6 +556,10 @@ class Engine:
         job.state = JobState.RUNNING
         event = self.events.push(t + job.runtime, EventKind.FINISH, job)
         self._expected_finish[job.job_id] = event.time
+        self.counters.starts += 1
+        self._pass_starts += 1
+        if self._rec:
+            self._record(t, "start", job)
 
     def _collect(self, t: float) -> SimResult:
         unfinished: List[Job] = [
@@ -455,6 +567,15 @@ class Engine:
         ]
         unfinished.extend(self.scheduler.pending_jobs())
         unfinished.extend(self._awaiting_retry.values())
+        # Trace jobs whose SUBMIT event never fired (an ``until`` stop
+        # before their submit time) are unfinished work too; without
+        # them a truncated run silently under-reports its backlog.
+        unfinished.extend(
+            job for job in self._trace if job.state is JobState.CREATED
+        )
+        self.counters.backfill_starts = getattr(
+            self.scheduler, "n_backfill_starts", 0
+        )
         return SimResult(
             machine=self.machine,
             finished=self._finished,
@@ -467,4 +588,5 @@ class Engine:
             dead_lettered=self._dead_lettered,
             fault_transitions=tuple(self._fault_transitions),
             n_failures=self._n_failures,
+            counters=self.counters,
         )

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.jobs import Job, JobKind
 from repro.machines import Machine
+from repro.obs import Counters
 from repro.sim.outages import OutageSchedule
 from repro.sim.profile import StepFunction
 
@@ -63,6 +64,11 @@ class SimResult:
         into :meth:`down_profile` alongside the outage transitions.
     n_failures:
         Number of FAILURE events processed.
+    counters:
+        The engine's :class:`~repro.obs.Counters` registry for this
+        run (events handled, scheduling passes, preemptions, backfill
+        starts, invariant checks, ...); always populated — counting is
+        cheap enough to leave on.
     """
 
     machine: Machine
@@ -76,6 +82,7 @@ class SimResult:
     dead_lettered: List[Job] = field(default_factory=list)
     fault_transitions: Sequence[Tuple[float, int]] = ()
     n_failures: int = 0
+    counters: Counters = field(default_factory=Counters)
 
     # ------------------------------------------------------------------
     # Job views

@@ -32,7 +32,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Dict, Mapping, Optional, TypeVar, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -108,6 +108,12 @@ class RunStore:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    def values(self) -> List[Any]:
+        """Snapshot of the in-memory layer's stored products (insertion
+        order).  Used by the observability layer to aggregate per-run
+        counters across everything a context computed or loaded."""
+        return list(self._memory.values())
 
     def __contains__(self, key: str) -> bool:
         return key in self._memory or self._disk_file(key) is not None

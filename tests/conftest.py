@@ -13,6 +13,19 @@ from repro.sched import fcfs_scheduler
 from repro.sched.queue_scheduler import BackfillMode
 
 
+def pytest_addoption(parser) -> None:
+    """``--regen-golden`` rewrites ``tests/obs/golden/*.jsonl`` from the
+    current engine instead of asserting against them.  Use it (and
+    review the diff!) after an *intentional* change to scheduling order
+    or the trace schema; an unintentional diff is a regression."""
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden engine traces under tests/obs/golden/",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator per test."""

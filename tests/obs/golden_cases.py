@@ -1,0 +1,95 @@
+"""Canonical engine configurations pinned by the golden-trace suite.
+
+Each case is a fully seeded simulation small enough to check its JSONL
+trace into the repository: per machine preset one *native* baseline,
+one *faulted* native run, and one *continual* interstitial run.  The
+traces pin scheduling order, tie-breaking, fault victim selection and
+the record schema all at once — any engine change that reorders events
+shows up as a golden diff instead of a silently shifted table.
+
+Regenerate (and review the diff!) with ``pytest --regen-golden``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.runners import run_continual, run_native
+from repro.faults import FaultModel
+from repro.jobs import InterstitialProject
+from repro.machines import preset
+from repro.machines.presets import preset_names
+from repro.obs import JsonlRecorder, TraceRecorder
+from repro.workload.synthetic import synthetic_trace_for
+
+#: Root seed for the golden traces (independent of experiment scales).
+GOLDEN_SEED = 20030915
+
+#: Fraction of each machine's paper log replayed (keeps files small).
+GOLDEN_TRACE_SCALE = 0.005
+
+
+def _trace(machine_name: str, salt: int):
+    return synthetic_trace_for(
+        machine_name,
+        rng=np.random.default_rng((GOLDEN_SEED, salt)),
+        scale=GOLDEN_TRACE_SCALE,
+    )
+
+
+def _native(machine_name: str, recorder: TraceRecorder) -> None:
+    machine = preset(machine_name)
+    trace = _trace(machine_name, 0)
+    run_native(machine, trace.jobs, horizon=trace.duration,
+               recorder=recorder)
+
+
+def _faulted(machine_name: str, recorder: TraceRecorder) -> None:
+    machine = preset(machine_name)
+    trace = _trace(machine_name, 1)
+    faults = FaultModel(
+        mtbf=2.0e5, mttr=7200.0, cpus_per_node=16, seed=GOLDEN_SEED
+    )
+    run_native(machine, trace.jobs, faults=faults, horizon=trace.duration,
+               recorder=recorder)
+
+
+def _continual(machine_name: str, recorder: TraceRecorder) -> None:
+    machine = preset(machine_name)
+    trace = _trace(machine_name, 2)
+    project = InterstitialProject(
+        n_jobs=1,  # placeholder; continual feeding ignores it
+        cpus_per_job=max(1, machine.cpus // 4),
+        runtime_1ghz=1800.0,
+        name=f"golden-{machine_name}",
+        user="golden",
+        group="golden",
+    )
+    run_continual(machine, trace.jobs, project, horizon=trace.duration,
+                  recorder=recorder)
+
+
+#: Case name -> driver writing the case's trace into a recorder.
+CASES: Dict[str, Callable[[str, TraceRecorder], None]] = {}
+for _machine in preset_names():
+    CASES[f"native-{_machine}"] = (
+        lambda rec, m=_machine: _native(m, rec)
+    )
+    CASES[f"faulted-{_machine}"] = (
+        lambda rec, m=_machine: _faulted(m, rec)
+    )
+    CASES[f"continual-{_machine}"] = (
+        lambda rec, m=_machine: _continual(m, rec)
+    )
+
+
+def render_case(name: str) -> str:
+    """Run one golden case and return its JSONL trace as text."""
+    buffer = io.StringIO()
+    recorder = JsonlRecorder(buffer, buffer_records=4096)
+    CASES[name](recorder)
+    recorder.close()
+    return buffer.getvalue()

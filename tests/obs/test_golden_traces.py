@@ -1,0 +1,48 @@
+"""Golden-trace regression suite.
+
+Each canonical configuration in :mod:`tests.obs.golden_cases` is re-run
+and its JSONL trace compared *byte for byte* against the checked-in
+golden file.  A mismatch means the engine's event-level behavior
+changed: scheduling order, tie-breaking, fault victim selection, the
+record schema, or float formatting.  If the change is intentional,
+regenerate with ``pytest tests/obs --regen-golden`` and review the
+golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tests.obs.golden_cases import CASES, render_case
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_trace(name: str, request) -> None:
+    text = render_case(name)
+    path = GOLDEN_DIR / f"{name}.jsonl"
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.is_file(), (
+        f"missing golden file {path}; generate it with "
+        f"'pytest tests/obs --regen-golden'"
+    )
+    golden = path.read_text(encoding="utf-8")
+    assert text == golden, (
+        f"engine trace for {name!r} diverged from {path.name} "
+        f"({len(text.splitlines())} lines vs {len(golden.splitlines())}); "
+        f"if the behavior change is intentional, run "
+        f"'pytest tests/obs --regen-golden' and review the diff"
+    )
+
+
+def test_render_is_deterministic() -> None:
+    """The harness itself must be replayable: two renders of the same
+    case in one process yield identical bytes."""
+    name = sorted(CASES)[0]
+    assert render_case(name) == render_case(name)

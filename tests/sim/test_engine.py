@@ -210,6 +210,27 @@ class TestUntil:
         assert len(result.finished) == 0
         assert len(result.unfinished) == 2
 
+    def test_truncation_counts_never_submitted_jobs(self, tiny_machine):
+        """Jobs whose SUBMIT events lie beyond ``until`` are backlog
+        too: a truncated run must not silently drop them (regression —
+        they used to vanish from both ``finished`` and ``unfinished``)."""
+        ran = make_job(cpus=1, runtime=10.0)
+        queued = make_job(cpus=8, runtime=100.0, submit=40.0)
+        late_a = make_job(cpus=1, runtime=10.0, submit=60.0)
+        late_b = make_job(cpus=2, runtime=10.0, submit=900.0)
+        result = Engine(
+            tiny_machine,
+            fcfs(),
+            trace=[ran, queued, late_a, late_b],
+            config=SimConfig(until=50.0),
+        ).run()
+        assert [j.job_id for j in result.finished] == [ran.job_id]
+        unfinished_ids = {j.job_id for j in result.unfinished}
+        assert unfinished_ids == {queued.job_id, late_a.job_id,
+                                  late_b.job_id}
+        # Conservation: every trace job is in exactly one bucket.
+        assert len(result.finished) + len(result.unfinished) == 4
+
 
 class TestWake:
     def test_wake_interval_validation(self):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -33,6 +35,24 @@ class TestParser:
         assert args.store == store
         assert build_parser().parse_args(["table1"]).store is None
 
+    def test_trace_option(self):
+        args = build_parser().parse_args(["table1", "--trace", "t.jsonl"])
+        assert args.trace == "t.jsonl"
+        assert build_parser().parse_args(["table1"]).trace is None
+
+    def test_trace_rejected_with_store_and_report(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table1", "--trace", "t.jsonl",
+                  "--store", str(tmp_path / "runs")])
+        with pytest.raises(SystemExit):
+            main(["report", "--trace", "t.jsonl"])
+
+    def test_profile_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+        with pytest.raises(SystemExit):
+            main(["table1", "table2"])  # target only valid with profile
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -54,3 +74,24 @@ class TestMain:
         )
         assert code == 0
         assert any(p.suffix == ".pkl" for p in store.iterdir())
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["table1", "--scale", "quick", "--trace", str(trace)]
+        ) == 0
+        lines = trace.read_text().splitlines()
+        assert lines, "trace file must not be empty"
+        first = json.loads(lines[0])
+        assert first["ev"] == "run_start"
+        assert {"t", "ev"} <= set(first)
+        err = capsys.readouterr().err
+        assert f"{len(lines)} trace records" in err
+
+    def test_profile_prints_phases_and_counters(self, capsys):
+        assert main(["profile", "table1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: table1" in out
+        assert "event_dispatch" in out
+        assert "scheduling_pass" in out
+        assert "scheduling_passes" in out
