@@ -1,0 +1,176 @@
+"""Service bench — interactive latency under bulk load.
+
+Boots the in-process daemon and measures interactive p50/p99 latency
+and total throughput in three phases:
+
+1. interactive-only baseline (no bulk traffic),
+2. mixed load with the default bulk cap (bulk admitted only while a
+   worker slot stays free — the paper's Table 8 utilization cap), and
+3. the same mixed load with the cap disabled.
+
+The policy claim under test: with the cap on, interactive p99 stays
+within 25% of the baseline while every bulk request still completes;
+with the cap off, bulk floods the pool and interactive latency
+measurably degrades.
+
+Jobs are synthetic fixed-duration sleeps rather than real simulations:
+the admission policy controls *queueing delay*, and fixed-duration
+jobs on a thread pool isolate exactly that quantity.  Real simulations
+would additionally timeshare the host CPU (a single-core CI runner
+degrades interactive latency under any policy), conflating scheduling
+with contention the daemon cannot control.  Per-request simulation
+cost has its own benches.
+
+Results land in ``BENCH_service.json`` to seed the perf trajectory.
+Run directly (``python benchmarks/bench_service.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.experiments.config import SCALES
+from repro.service import InProcessClient, ServiceConfig, percentile
+
+#: Interactive requests timed per phase / bulk requests flooded per
+#: mixed phase.
+N_INTERACTIVE = 12
+N_BULK = 8
+WORKERS = 2
+CAPPED = 0.9
+#: Synthetic job duration — long enough that queueing delay (a whole
+#: multiple of it) dominates service-layer overhead (~1 ms).
+JOB_DURATION_S = 0.25
+MAX_P99_REGRESSION = 1.25
+
+
+def synthetic_job(name, scale, store_path, check_invariants):
+    """Fixed-duration stand-in for a simulation run."""
+    time.sleep(JOB_DURATION_S)
+    return f"synthetic {name} seed={scale.seed}"
+
+
+def _measure_phase(client, *, bulk: bool) -> dict:
+    """Drive one phase and return its latency/throughput summary.
+
+    Interactive requests run sequentially from this thread and are
+    timed client-side; the bulk flood, when enabled, runs concurrently
+    in the background.  Every phase gets a fresh service (and so a
+    fresh in-memory store), which lets all phases replay the same seed
+    sequence without cache hits.
+    """
+    bulk_replies: list = []
+    bulk_thread = None
+    if bulk:
+        payloads = [
+            {"experiment": "table1", "seed": 500 + i,
+             "priority": "bulk"}
+            for i in range(N_BULK)
+        ]
+        bulk_thread = threading.Thread(
+            target=lambda: bulk_replies.extend(
+                client.run_many(payloads, max_workers=N_BULK)
+            )
+        )
+
+    start = time.perf_counter()
+    if bulk_thread is not None:
+        bulk_thread.start()
+    latencies = []
+    for i in range(N_INTERACTIVE):
+        t0 = time.perf_counter()
+        reply = client.run("table1", seed=1000 + i)
+        latencies.append(time.perf_counter() - t0)
+        assert reply.ok, reply.payload
+    if bulk_thread is not None:
+        bulk_thread.join()
+        assert all(r.ok for r in bulk_replies), (
+            f"bulk requests failed: "
+            f"{sorted(r.status for r in bulk_replies)}"
+        )
+    elapsed = time.perf_counter() - start
+
+    completed = N_INTERACTIVE + len(bulk_replies)
+    return {
+        "interactive_p50_s": round(percentile(latencies, 50), 4),
+        "interactive_p99_s": round(percentile(latencies, 99), 4),
+        "interactive_mean_s": round(
+            sum(latencies) / len(latencies), 4
+        ),
+        "bulk_completed": len(bulk_replies),
+        "throughput_rps": round(completed / elapsed, 3),
+        "elapsed_s": round(elapsed, 3),
+    }
+
+
+def _run_phase(bulk_cap: float, *, bulk: bool) -> dict:
+    config = ServiceConfig(
+        workers=WORKERS, bulk_cap=bulk_cap, scale=SCALES["quick"]
+    )
+    with InProcessClient(
+        config,
+        pool_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        worker_fn=synthetic_job,
+    ) as client:
+        return _measure_phase(client, bulk=bulk)
+
+
+def run_bench(output: Path) -> dict:
+    phases = {
+        "baseline": _run_phase(CAPPED, bulk=False),
+        "capped": _run_phase(CAPPED, bulk=True),
+        "uncapped": _run_phase(1.0, bulk=True),
+    }
+    result = {
+        "bench": "service",
+        "workers": WORKERS,
+        "bulk_cap": CAPPED,
+        "job_duration_s": JOB_DURATION_S,
+        "interactive_requests": N_INTERACTIVE,
+        "bulk_requests": N_BULK,
+        "phases": phases,
+    }
+    output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"\nservice bench (workers={WORKERS}, cap={CAPPED}, "
+          f"job={JOB_DURATION_S}s) -> {output}")
+    header = (
+        f"{'phase':<10} {'p50 (s)':>9} {'p99 (s)':>9} "
+        f"{'mean (s)':>9} {'req/s':>7} {'bulk done':>9}"
+    )
+    print(header)
+    for name, row in phases.items():
+        print(
+            f"{name:<10} {row['interactive_p50_s']:>9.3f} "
+            f"{row['interactive_p99_s']:>9.3f} "
+            f"{row['interactive_mean_s']:>9.3f} "
+            f"{row['throughput_rps']:>7.2f} "
+            f"{row['bulk_completed']:>9d}"
+        )
+
+    baseline_p99 = phases["baseline"]["interactive_p99_s"]
+    capped = phases["capped"]
+    uncapped = phases["uncapped"]
+    assert capped["bulk_completed"] == N_BULK
+    assert capped["interactive_p99_s"] <= (
+        MAX_P99_REGRESSION * baseline_p99
+    ), (
+        f"capped interactive p99 {capped['interactive_p99_s']:.3f}s "
+        f"exceeds {MAX_P99_REGRESSION}x baseline {baseline_p99:.3f}s"
+    )
+    assert uncapped["interactive_p99_s"] > (
+        MAX_P99_REGRESSION * baseline_p99
+    ), "disabling the cap should visibly degrade interactive latency"
+    return result
+
+
+def bench_service():
+    run_bench(Path("BENCH_service.json"))
+
+
+if __name__ == "__main__":
+    run_bench(Path("BENCH_service.json"))

@@ -80,7 +80,9 @@ from repro.workload import (
     write_swf,
 )
 
-__version__ = "1.0.0"
+from repro.version import repro_version
+
+__version__ = repro_version()
 
 __all__ = [
     "__version__",

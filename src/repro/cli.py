@@ -8,7 +8,12 @@
   out over N worker processes;
 * ``repro profile <experiment>`` — run one experiment (or ``all``)
   serially with the engine's phase timers attached and print hot-phase
-  wall-clock, aggregated event counters, and store behavior.
+  wall-clock, aggregated event counters, and store behavior;
+* ``repro serve [--host --port --workers N --bulk-cap C]`` — run the
+  long-lived simulation service (see :mod:`repro.service`):
+  interactive requests dispatch to a worker pool immediately, bulk
+  requests are admitted only into utilization gaps below the cap, with
+  response caching, request coalescing and graceful SIGTERM drain.
 
 ``--store DIR`` persists every simulation run content-addressed under
 DIR, so repeated invocations (and parallel workers) reuse each other's
@@ -33,6 +38,7 @@ from repro.experiments.registry import EXPERIMENTS, REPORT_ORDER
 from repro.experiments.report import profile_experiments, write_report
 from repro.obs import JsonlRecorder
 from repro.store import RunStore
+from repro.version import repro_version
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,12 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "profile"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "report", "profile", "serve"],
         help=(
             "experiment to run ('all' runs everything, 'list' "
             "enumerates them, 'report' writes a markdown report, "
-            "'profile' times an experiment's engine phases)"
+            "'profile' times an experiment's engine phases, 'serve' "
+            "runs the simulation service daemon)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro_version()}",
     )
     parser.add_argument(
         "target",
@@ -111,6 +124,48 @@ def build_parser() -> argparse.ArgumentParser:
             "cached simulations)"
         ),
     )
+    serving = parser.add_argument_group(
+        "serving options (only with 'serve')"
+    )
+    serving.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default: 127.0.0.1)",
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port for 'serve' (default: 8765; 0 picks a free port)",
+    )
+    serving.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker-pool processes for 'serve' (default: 2)",
+    )
+    serving.add_argument(
+        "--bulk-cap",
+        type=float,
+        default=0.9,
+        metavar="C",
+        help=(
+            "utilization cap in (0, 1] for bulk admission: a bulk "
+            "request is dispatched only while (busy+1)/workers <= C; "
+            "1.0 disables the policy (default: 0.9)"
+        ),
+    )
+    serving.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bulk queue bound before 429-style backpressure "
+            "(default: 64)"
+        ),
+    )
     return parser
 
 
@@ -132,7 +187,7 @@ def main(argv=None) -> int:
     if args.target is not None and args.experiment != "profile":
         parser.error("a target experiment is only valid with 'profile'")
     if args.trace is not None:
-        if args.experiment in ("report", "profile"):
+        if args.experiment in ("report", "profile", "serve"):
             parser.error(f"--trace cannot be combined with "
                          f"{args.experiment!r}")
         if args.store is not None:
@@ -142,6 +197,21 @@ def main(argv=None) -> int:
                 "drop --store"
             )
     scale = SCALES[args.scale] if args.scale else current_scale()
+    if args.experiment == "serve":
+        from repro.service import ServiceConfig, run_service
+
+        if args.jobs != 1:
+            parser.error("'serve' sizes its pool with --workers, "
+                         "not --jobs")
+        config = ServiceConfig(
+            workers=args.workers,
+            bulk_cap=args.bulk_cap,
+            max_queue=args.max_queue,
+            scale=scale,
+            store_path=args.store,
+            check_invariants=args.check_invariants,
+        )
+        return run_service(config, host=args.host, port=args.port)
     ctx = RunContext(
         scale=scale,
         store=RunStore(args.store),

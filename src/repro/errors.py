@@ -40,3 +40,8 @@ class FaultError(ReproError):
 
 class TraceFormatError(ReproError):
     """A workload trace file could not be parsed."""
+
+
+class ServiceError(ReproError):
+    """The serving daemon received an invalid request or reached an
+    inconsistent serving state."""

@@ -63,22 +63,42 @@ def aggregate_counters(ctx: RunContext) -> Counters:
     return total
 
 
+def render_experiment(
+    name: str,
+    scale: ExperimentScale,
+    store_path: Optional[str] = None,
+    check_invariants: bool = False,
+) -> str:
+    """Rebuild a context in *this* process, run one registry driver and
+    return its rendered table text.
+
+    This is the shared picklable worker entry point: the parallel
+    report executor and the serving daemon's long-lived worker pool
+    (:mod:`repro.service`) both dispatch it to ``ProcessPoolExecutor``
+    workers.  An unknown ``name`` (or a driver raising mid-run) fails
+    only this call — the exception travels back to the submitting
+    process and the pool stays usable.
+    """
+    from repro.experiments.registry import SPECS
+
+    if name not in SPECS:
+        raise KeyError(f"unknown experiment {name!r}")
+    ctx = RunContext(
+        scale=scale,
+        store=RunStore(store_path),
+        check_invariants=check_invariants,
+    )
+    return SPECS[name].driver(ctx).render()
+
+
 def _render_one(
     name: str,
     scale: ExperimentScale,
     store_path: Optional[str],
     check_invariants: bool,
 ) -> Tuple[str, str]:
-    """Worker entry point: rebuild a context, run one driver, return
-    ``(name, rendered text)``."""
-    from repro.experiments.registry import SPECS
-
-    ctx = RunContext(
-        scale=scale,
-        store=RunStore(store_path),
-        check_invariants=check_invariants,
-    )
-    return name, SPECS[name].driver(ctx).render()
+    """Report-executor worker: ``(name, rendered text)``."""
+    return name, render_experiment(name, scale, store_path, check_invariants)
 
 
 def run_experiments(

@@ -8,7 +8,9 @@ Three orthogonal instruments, all zero-overhead unless requested:
   byte-deterministic on-disk traces, the substrate of the golden-trace
   regression suite);
 * :class:`Counters` — always-on integer event counters surfaced on
-  ``SimResult.counters`` and mergeable across runs/experiments;
+  ``SimResult.counters`` and mergeable across runs/experiments
+  (:class:`ServiceCounters` is the same contract for the serving
+  daemon's request pipeline, surfaced by its ``/metrics`` endpoint);
 * :class:`PhaseTimers` — ``perf_counter``-based wall-clock accounting
   of the engine's hot phases, behind ``repro profile <experiment>``.
 
@@ -17,7 +19,7 @@ so ``repro.sim`` (and everything above it) can import ``repro.obs``
 freely.
 """
 
-from repro.obs.counters import Counters
+from repro.obs.counters import Counters, ServiceCounters
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlRecorder,
@@ -30,6 +32,7 @@ from repro.obs.timers import PhaseStat, PhaseTimers
 
 __all__ = [
     "Counters",
+    "ServiceCounters",
     "TraceRecord",
     "TraceRecorder",
     "NullRecorder",

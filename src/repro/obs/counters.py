@@ -89,3 +89,67 @@ class Counters:
     def __bool__(self) -> bool:
         """True when any counter is non-zero."""
         return any(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass
+class ServiceCounters:
+    """Integer request counters for the serving daemon
+    (:mod:`repro.service`), surfaced by its ``/metrics`` endpoint.
+
+    Same contract as :class:`Counters` — always on, additive
+    :meth:`merge`, stable :meth:`as_dict` order — but counting
+    *requests* through the admission pipeline rather than engine
+    events.
+
+    Attributes
+    ----------
+    requests:
+        Requests received (every class and outcome).
+    interactive_requests, bulk_requests:
+        Requests received, by priority class.
+    cache_hits:
+        Requests answered straight from the run store.
+    coalesced_hits:
+        Requests that joined an identical in-flight computation
+        instead of starting their own.
+    computes:
+        Underlying simulation runs actually dispatched to the worker
+        pool (the denominator coalescing and caching shrink).
+    admits:
+        Dispatches admitted to the worker pool (both classes).
+    cap_deferrals:
+        Admission passes that held queued bulk work back because the
+        pool's utilization cap left no interstice.
+    rejections:
+        Requests bounced with backpressure (full bulk queue).
+    failures:
+        Dispatched computations that raised in the worker.
+    drain_rejections:
+        Requests refused because the service was draining.
+    """
+
+    requests: int = 0
+    interactive_requests: int = 0
+    bulk_requests: int = 0
+    cache_hits: int = 0
+    coalesced_hits: int = 0
+    computes: int = 0
+    admits: int = 0
+    cap_deferrals: int = 0
+    rejections: int = 0
+    failures: int = 0
+    drain_rejections: int = 0
+
+    def merge(self, other: "ServiceCounters") -> "ServiceCounters":
+        """Add ``other``'s counts into this registry; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field -> value mapping in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __bool__(self) -> bool:
+        """True when any counter is non-zero."""
+        return any(getattr(self, f.name) for f in fields(self))

@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: the paper's admission policy, serving.
+
+The repo's experiments have so far been one-shot CLI runs.  This
+package is the long-lived serving layer on top of the same registry,
+store and executor machinery: a stdlib-only asyncio daemon (``repro
+serve``) that runs :class:`~repro.service.requests.SimRequest`\\ s on a
+worker pool under the paper's two-class policy — interactive natives
+dispatch immediately, bulk interstitials are admitted only into
+utilization gaps below a cap — with content-addressed response
+caching, in-flight request coalescing, bounded-queue backpressure and
+graceful drain.  See ``DESIGN.md`` §11 for the architecture.
+"""
+
+from repro.service.client import (
+    InProcessClient,
+    ServiceClient,
+    ServiceReply,
+)
+from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.http import HttpFrontend
+from repro.service.metrics import LatencyStats, ServiceMetrics, percentile
+from repro.service.requests import (
+    BULK,
+    INTERACTIVE,
+    PRIORITIES,
+    ServiceResponse,
+    SimRequest,
+)
+from repro.service.runner import run_service
+
+__all__ = [
+    "BULK",
+    "INTERACTIVE",
+    "PRIORITIES",
+    "SimRequest",
+    "ServiceResponse",
+    "ServiceConfig",
+    "SimulationService",
+    "ServiceMetrics",
+    "LatencyStats",
+    "percentile",
+    "HttpFrontend",
+    "ServiceClient",
+    "InProcessClient",
+    "ServiceReply",
+    "run_service",
+]

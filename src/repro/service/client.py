@@ -1,0 +1,228 @@
+"""Thin clients for the simulation service.
+
+:class:`ServiceClient` talks HTTP with :mod:`http.client` (stdlib, one
+connection per call, so one client instance is safe to share across
+threads).  :class:`InProcessClient` drives a
+:class:`~repro.service.daemon.SimulationService` coroutine pipeline
+from synchronous code via a background event loop — the same request
+semantics without sockets, used by tests and the service bench.
+
+Both return :class:`ServiceReply`, a small status + payload pair with
+accessors for the common fields.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.requests import SimRequest
+
+
+@dataclass
+class ServiceReply:
+    """One reply: HTTP-shaped status code plus decoded JSON payload."""
+
+    status: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def result(self) -> Optional[str]:
+        """The rendered table text (``None`` unless ok)."""
+        return self.payload.get("result") if self.ok else None
+
+    @property
+    def cached(self) -> bool:
+        return bool(self.payload.get("cached"))
+
+    @property
+    def coalesced(self) -> bool:
+        return bool(self.payload.get("coalesced"))
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        return self.payload.get("retry_after_s")
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.payload.get("error")
+
+
+class ServiceClient:
+    """HTTP client for a running ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        experiment: str,
+        *,
+        scale: Optional[str] = None,
+        seed: Optional[int] = None,
+        priority: str = "interactive",
+    ) -> ServiceReply:
+        """Submit one simulation request and wait for its reply."""
+        body = {
+            "experiment": experiment,
+            "scale": scale,
+            "seed": seed,
+            "priority": priority,
+        }
+        return self._call("POST", "/run", body)
+
+    def run_many(
+        self, requests: Sequence[Dict[str, Any]], max_workers: int = 8
+    ) -> List[ServiceReply]:
+        """Submit many request payloads concurrently (thread-per-call,
+        order-preserving)."""
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(
+                pool.map(lambda kw: self.run(**kw), requests)
+            )
+
+    def healthz(self) -> ServiceReply:
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> ServiceReply:
+        return self._call("GET", "/metrics")
+
+    def wait_until_healthy(
+        self, timeout: float = 30.0, interval: float = 0.1
+    ) -> ServiceReply:
+        """Poll ``/healthz`` until the daemon answers; raises
+        :class:`ServiceError` on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                reply = self.healthz()
+                if reply.ok:
+                    return reply
+            except (ConnectionError, OSError):
+                pass
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"service at {self.host}:{self.port} not healthy "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> ServiceReply:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                None if body is None else json.dumps(body).encode("utf-8")
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            return ServiceReply(response.status, decoded)
+        finally:
+            conn.close()
+
+
+class InProcessClient:
+    """Drive a :class:`SimulationService` without sockets.
+
+    Spins a private event loop in a daemon thread, starts the service
+    on it, and exposes the same blocking ``run``/``healthz``/
+    ``metrics`` surface as :class:`ServiceClient`.  Use as a context
+    manager (``__exit__`` drains and stops the service).
+    """
+
+    def __init__(self, config: ServiceConfig, **service_kwargs: Any) -> None:
+        self._service = SimulationService(config, **service_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> SimulationService:
+        return self._service
+
+    def __enter__(self) -> "InProcessClient":
+        self._thread.start()
+        self._await(self._service.start())
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._await(self._service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        experiment: str,
+        *,
+        scale: Optional[str] = None,
+        seed: Optional[int] = None,
+        priority: str = "interactive",
+    ) -> ServiceReply:
+        request = SimRequest(
+            experiment=experiment, scale=scale, seed=seed, priority=priority
+        )
+        response = self._await(self._service.submit(request))
+        return ServiceReply(response.status, response.payload)
+
+    def run_many(
+        self, requests: Sequence[Dict[str, Any]], max_workers: int = 8
+    ) -> List[ServiceReply]:
+        """Submit many request payloads concurrently on the service
+        loop (the concurrency that exercises coalescing/admission)."""
+        futures = [
+            asyncio.run_coroutine_threadsafe(
+                self._service.submit(SimRequest(**kw)), self._loop
+            )
+            for kw in requests
+        ]
+        return [
+            ServiceReply(r.status, r.payload)
+            for r in (f.result() for f in futures)
+        ]
+
+    def healthz(self) -> ServiceReply:
+        return ServiceReply(200, self._service.healthz())
+
+    def metrics(self) -> ServiceReply:
+        return ServiceReply(200, self._service.metrics_snapshot())
+
+    # ------------------------------------------------------------------
+    def _await(self, coro: Any) -> Any:
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()

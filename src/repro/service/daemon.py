@@ -1,0 +1,439 @@
+"""The simulation service core: admission control over a worker pool.
+
+:class:`SimulationService` is the asyncio orchestrator behind ``repro
+serve``.  It dogfoods the paper's interstitial policy on its own
+request queue:
+
+* **interactive** requests are the natives: they go straight to the
+  long-lived ``ProcessPoolExecutor`` pool (the PR-2 report executor's
+  worker entry point, now shared);
+* **bulk** requests are the interstitials: they wait in a bounded
+  queue and are admitted one at a time, only while admitting one more
+  job keeps pool utilization at or below ``bulk_cap`` — the service
+  scheduling its own interstices, exactly the Table 8 utilization-cap
+  loop at request granularity.
+
+Layered on top of admission:
+
+* **caching** — responses are rendered-table products in a
+  content-addressed :class:`~repro.store.RunStore`, so a repeated
+  configuration is answered without touching the pool;
+* **coalescing** — concurrent requests hashing to the same content
+  address share one in-flight computation (the leader computes,
+  followers await its future);
+* **backpressure** — a full bulk queue (or an over-committed
+  interactive backlog) bounces the request with a 429-style response
+  whose ``retry_after`` is computed from queue depth and observed
+  latency;
+* **graceful drain** — new work is refused while everything already
+  accepted (queued bulk included) runs to completion.
+
+The event loop owns all mutable state; only worker computations leave
+the loop thread.  Tests can substitute the pool and the worker
+function (``pool_factory`` / ``worker_fn``) to drive admission timing
+deterministically without real simulations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.executor import render_experiment
+from repro.experiments.registry import SPECS
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import (
+    BULK,
+    INTERACTIVE,
+    ServiceResponse,
+    SimRequest,
+)
+from repro.store import RunStore, content_key
+from repro.version import repro_version
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance.
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool processes (the "machine size" the cap is over).
+    bulk_cap:
+        Utilization cap for bulk admission in ``(0, 1]``: a bulk job
+        is admitted only while ``(busy + 1) / workers <= bulk_cap``.
+        ``1.0`` disables the policy (bulk may fill the pool).
+    max_queue:
+        Bulk queue bound; arrivals beyond it are rejected with
+        backpressure.
+    max_backlog:
+        Interactive overcommit bound: interactive requests are
+        rejected once more than ``workers + max_backlog`` dispatches
+        are in flight.
+    scale:
+        Default :class:`ExperimentScale` for requests that name none.
+    store_path:
+        Optional directory for the shared on-disk run store (response
+        cache *and* the workers' simulation-product cache).
+    check_invariants:
+        Run worker simulations with the engine validator enabled.
+    """
+
+    workers: int = 2
+    bulk_cap: float = 0.9
+    max_queue: int = 64
+    max_backlog: int = 8
+    scale: Optional[ExperimentScale] = None
+    store_path: Optional[str] = None
+    check_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {self.workers}")
+        if not (0.0 < self.bulk_cap <= 1.0):
+            raise ConfigurationError(
+                f"bulk_cap must be in (0, 1]: {self.bulk_cap}"
+            )
+        if self.max_queue < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1: {self.max_queue}"
+            )
+        if self.max_backlog < 0:
+            raise ConfigurationError(
+                f"max_backlog must be >= 0: {self.max_backlog}"
+            )
+
+    def effective_scale(self) -> ExperimentScale:
+        return self.scale if self.scale is not None else current_scale()
+
+
+class SimulationService:
+    """Admission-controlled, cached, coalescing simulation runner.
+
+    Lifecycle: construct, ``await start()``, serve ``await
+    submit(request)`` calls, then ``await stop()`` (which drains).
+    All coroutines must run on one event loop.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        pool_factory: Optional[Callable[[int], Any]] = None,
+        worker_fn: Optional[Callable[..., str]] = None,
+    ) -> None:
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.store = RunStore(config.store_path)
+        self._scale = config.effective_scale()
+        self._pool_factory = pool_factory or (
+            lambda n: ProcessPoolExecutor(max_workers=n)
+        )
+        self._worker_fn = worker_fn or render_experiment
+        self._pool: Optional[Any] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._cond: Optional[asyncio.Condition] = None
+        self._admission_task: Optional[asyncio.Task] = None
+        #: content key -> future resolving to ("ok", text) | ("error", msg)
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._bulk_queue: Deque[asyncio.Event] = deque()
+        self._busy = 0
+        self._draining = False
+        self._stopping = False
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the pool and the bulk admission loop (call once,
+        inside the event loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._cond = asyncio.Condition()
+        self._pool = self._pool_factory(self.config.workers)
+        self._admission_task = self._loop.create_task(
+            self._admission_loop()
+        )
+        self._started_at = time.monotonic()
+
+    async def drain(self) -> None:
+        """Refuse new work; wait until everything accepted (running
+        *and* queued bulk) has completed."""
+        self._draining = True
+        async with self._cond:
+            self._cond.notify_all()
+            await self._cond.wait_for(self._idle)
+
+    async def stop(self) -> None:
+        """Drain, stop the admission loop and shut the pool down."""
+        await self.drain()
+        self._stopping = True
+        async with self._cond:
+            self._cond.notify_all()
+        if self._admission_task is not None:
+            await self._admission_task
+            self._admission_task = None
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            await self._loop.run_in_executor(None, pool.shutdown, True)
+
+    def _idle(self) -> bool:
+        return (
+            not self._bulk_queue and self._busy == 0 and not self._inflight
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def utilization(self) -> float:
+        """In-flight dispatches over pool size (> 1.0 means the
+        executor itself is queueing)."""
+        return self._busy / self.config.workers
+
+    def bulk_queue_depth(self) -> int:
+        return len(self._bulk_queue)
+
+    def healthz(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": repro_version(),
+            "workers": self.config.workers,
+            "bulk_cap": self.config.bulk_cap,
+            "scale": self._scale.name,
+            "utilization": self.utilization(),
+            "bulk_queue_depth": self.bulk_queue_depth(),
+            "uptime_s": time.monotonic() - self._started_at,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` payload."""
+        snap = self.metrics.snapshot()
+        snap["utilization"] = self.utilization()
+        snap["busy"] = self._busy
+        snap["bulk_queue_depth"] = self.bulk_queue_depth()
+        snap["inflight"] = len(self._inflight)
+        snap["store"] = {
+            "entries": len(self.store),
+            "hits": self.store.hits,
+            "disk_hits": self.store.disk_hits,
+            "misses": self.store.misses,
+            "lease_waits": self.store.lease_waits,
+        }
+        return snap
+
+    # ------------------------------------------------------------------
+    # Request pipeline
+    # ------------------------------------------------------------------
+    async def submit(self, request: SimRequest) -> ServiceResponse:
+        """Run one request through the full pipeline: validate, cache,
+        coalesce, admit, compute, store."""
+        counters = self.metrics.counters
+        counters.requests += 1
+        if request.priority == BULK:
+            counters.bulk_requests += 1
+        else:
+            counters.interactive_requests += 1
+        if self._draining:
+            counters.drain_rejections += 1
+            return ServiceResponse(
+                503, {"status": "draining", "error": "service is draining"}
+            )
+        try:
+            if request.experiment not in SPECS:
+                raise ServiceError(
+                    f"unknown experiment {request.experiment!r}; "
+                    f"see 'repro list'"
+                )
+            scale = request.resolve_scale(self._scale)
+        except ServiceError as exc:
+            return ServiceResponse(
+                400, {"status": "error", "error": str(exc)}
+            )
+        key = content_key(request.run_payload(scale))
+
+        cached = self.store.get(key, _MISS)
+        if cached is not _MISS:
+            counters.cache_hits += 1
+            return self._ok(request, scale, key, cached,
+                            cached=True, coalesced=False, elapsed=0.0)
+
+        if key in self._inflight:
+            counters.coalesced_hits += 1
+            outcome, value = await asyncio.shield(self._inflight[key])
+            if outcome != "ok":
+                return ServiceResponse(
+                    500, {"status": "error", "error": value}
+                )
+            return self._ok(request, scale, key, value,
+                            cached=False, coalesced=True, elapsed=0.0)
+
+        rejection = self._backpressure(request)
+        if rejection is not None:
+            counters.rejections += 1
+            return rejection
+
+        future = self._loop.create_future()
+        self._inflight[key] = future
+        started = time.monotonic()
+        try:
+            if request.priority == BULK:
+                await self._await_bulk_admission()
+            else:
+                self._busy += 1
+            counters.admits += 1
+            try:
+                text = await self._loop.run_in_executor(
+                    self._pool,
+                    self._worker_fn,
+                    request.experiment,
+                    scale,
+                    self.config.store_path,
+                    self.config.check_invariants,
+                )
+            finally:
+                self._busy -= 1
+                await self._notify()
+        except asyncio.CancelledError:
+            # Never strand coalesced waiters on an unresolvable future.
+            future.set_result(("error", "computation cancelled"))
+            raise
+        except Exception as exc:  # noqa: BLE001 - boundary to workers
+            counters.failures += 1
+            future.set_result(("error", f"{type(exc).__name__}: {exc}"))
+            return ServiceResponse(
+                500,
+                {"status": "error",
+                 "error": f"{type(exc).__name__}: {exc}"},
+            )
+        else:
+            elapsed = time.monotonic() - started
+            counters.computes += 1
+            self.store.put(key, text)
+            self.metrics.record_latency(request.priority, elapsed)
+            future.set_result(("ok", text))
+            return self._ok(request, scale, key, text,
+                            cached=False, coalesced=False, elapsed=elapsed)
+        finally:
+            self._inflight.pop(key, None)
+            await self._notify()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _cap_allows(self) -> bool:
+        """Would admitting one more bulk job keep utilization at or
+        below the cap?"""
+        return (
+            (self._busy + 1) / self.config.workers
+            <= self.config.bulk_cap + 1e-9
+        )
+
+    async def _await_bulk_admission(self) -> None:
+        """Queue a bulk ticket and wait for the admission loop to
+        grant it (the grant reserves the pool slot)."""
+        ticket = asyncio.Event()
+        async with self._cond:
+            self._bulk_queue.append(ticket)
+            self._cond.notify_all()
+        await ticket.wait()
+
+    async def _admission_loop(self) -> None:
+        """Grant queued bulk tickets whenever the cap leaves a gap —
+        the service-side interstice scheduler."""
+        while True:
+            async with self._cond:
+                while True:
+                    if self._stopping and not self._bulk_queue:
+                        return
+                    if self._bulk_queue and self._cap_allows():
+                        break
+                    if self._bulk_queue:
+                        self.metrics.counters.cap_deferrals += 1
+                    await self._cond.wait()
+                ticket = self._bulk_queue.popleft()
+                self._busy += 1  # reserve the slot before handing off
+                ticket.set()
+
+    async def _notify(self) -> None:
+        async with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Backpressure
+    # ------------------------------------------------------------------
+    def _backpressure(
+        self, request: SimRequest
+    ) -> Optional[ServiceResponse]:
+        """A 429-style rejection when the request's queue is full,
+        with ``retry_after`` estimated from queue depth and observed
+        service time."""
+        if request.priority == BULK:
+            depth = len(self._bulk_queue)
+            if depth < self.config.max_queue:
+                return None
+            label = "bulk queue full"
+        else:
+            depth = self._busy - self.config.workers
+            if depth < self.config.max_backlog:
+                return None
+            label = "interactive backlog full"
+        retry_after = self._retry_after(request.priority, depth)
+        return ServiceResponse(
+            429,
+            {"status": "rejected", "error": label,
+             "retry_after_s": retry_after},
+            retry_after=retry_after,
+        )
+
+    def _retry_after(self, priority: str, depth: int) -> float:
+        """Expected seconds until the queue has room: depth jobs at
+        the observed mean service time across ``workers`` lanes."""
+        mean = self.metrics.latency[priority].mean
+        if mean <= 0.0:
+            mean = self.metrics.latency[INTERACTIVE].mean or 1.0
+        return max(1.0, depth * mean / self.config.workers)
+
+    # ------------------------------------------------------------------
+    def _ok(
+        self,
+        request: SimRequest,
+        scale: ExperimentScale,
+        key: str,
+        text: str,
+        *,
+        cached: bool,
+        coalesced: bool,
+        elapsed: float,
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            200,
+            {
+                "status": "ok",
+                "experiment": request.experiment,
+                "scale": scale.name,
+                "seed": scale.seed,
+                "priority": request.priority,
+                "cached": cached,
+                "coalesced": coalesced,
+                "elapsed_s": elapsed,
+                "key": key,
+                "result": text,
+            },
+        )
+
+
+#: Private cache-miss sentinel (None is a legal stored value).
+_MISS = object()

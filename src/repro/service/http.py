@@ -1,0 +1,191 @@
+"""Minimal stdlib HTTP/1.1 front end for the simulation service.
+
+One deliberately small surface — three routes, JSON in/out,
+``Connection: close`` per request — implemented directly on
+``asyncio.start_server`` so the daemon stays single-threaded and adds
+no runtime dependency:
+
+* ``POST /run`` — body is a :class:`~repro.service.requests.SimRequest`
+  payload; response status mirrors the service pipeline (200 ok, 400
+  invalid, 429 backpressure + ``Retry-After``, 500 worker failure,
+  503 draining);
+* ``GET /healthz`` — liveness, version and admission posture;
+* ``GET /metrics`` — counters, per-class latency and store behavior.
+
+The parser accepts exactly what the bundled client emits (request
+line, headers, optional ``Content-Length`` body) and answers anything
+malformed with a 400 rather than crashing the connection handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.errors import ServiceError
+from repro.service.daemon import SimulationService
+from repro.service.requests import ServiceResponse, SimRequest
+
+#: Refuse unreasonable request bodies outright.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpFrontend:
+    """Serve a :class:`SimulationService` over HTTP."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting (``port=0`` picks a free port,
+        reflected back into :attr:`port`)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            response = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - connection boundary
+            response = ServiceResponse(
+                500,
+                {"status": "error",
+                 "error": f"{type(exc).__name__}: {exc}"},
+            )
+        try:
+            writer.write(_serialize(response))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> ServiceResponse:
+        parsed = await _read_request(reader)
+        if isinstance(parsed, ServiceResponse):
+            return parsed
+        method, path, body = parsed
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return ServiceResponse(200, self.service.healthz())
+        if path == "/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return ServiceResponse(200, self.service.metrics_snapshot())
+        if path == "/run":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            try:
+                payload = json.loads(body.decode("utf-8") or "null")
+                request = SimRequest.from_payload(payload)
+            except (ValueError, ServiceError) as exc:
+                return ServiceResponse(
+                    400, {"status": "error", "error": str(exc)}
+                )
+            return await self.service.submit(request)
+        return ServiceResponse(
+            404, {"status": "error", "error": f"no such path {path!r}"}
+        )
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+async def _read_request(
+    reader: asyncio.StreamReader,
+):
+    """Parse one HTTP request; returns ``(method, path, body)`` or a
+    ready error :class:`ServiceResponse`."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, OSError):
+        request_line = b""
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return ServiceResponse(
+            400, {"status": "error", "error": "malformed request line"}
+        )
+    method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        return ServiceResponse(
+            400, {"status": "error", "error": "bad Content-Length"}
+        )
+    if length > MAX_BODY_BYTES:
+        return ServiceResponse(
+            413, {"status": "error", "error": "request body too large"}
+        )
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return ServiceResponse(
+            400, {"status": "error", "error": "truncated request body"}
+        )
+    return method, path, body
+
+
+def _method_not_allowed(allowed: str) -> ServiceResponse:
+    return ServiceResponse(
+        405,
+        {"status": "error", "error": f"method not allowed; use {allowed}"},
+    )
+
+
+def _serialize(response: ServiceResponse) -> bytes:
+    """Render a :class:`ServiceResponse` as an HTTP/1.1 message."""
+    body = json.dumps(response.payload).encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if response.retry_after is not None:
+        headers.append(f"Retry-After: {max(1, round(response.retry_after))}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body

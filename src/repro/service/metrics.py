@@ -1,0 +1,89 @@
+"""Service-side metrics: request counters plus per-class latency.
+
+Counters live in :class:`repro.obs.ServiceCounters` (the obs layer owns
+counter semantics across the codebase); this module adds the latency
+side — a bounded reservoir per priority class with the percentile
+arithmetic the ``/metrics`` endpoint and the service bench report
+(interactive p50/p99 is the paper-policy health signal: it is what the
+bulk cap exists to protect).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, Iterable
+
+from repro.obs import ServiceCounters
+from repro.service.requests import PRIORITIES
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0 < q <= 100) of ``samples`` by the
+    nearest-rank method; ``0.0`` for an empty sample set."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if not (0.0 < q <= 100.0):
+        raise ValueError(f"percentile q must be in (0, 100]: {q}")
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+class LatencyStats:
+    """Bounded latency reservoir for one priority class.
+
+    Keeps the most recent ``maxlen`` samples for percentile queries
+    while counting and summing every sample ever recorded (so mean and
+    count do not forget history the reservoir evicted).
+    """
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self.count += 1
+        self.total += float(seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.quantile(50.0),
+            "p99_s": self.quantile(99.0),
+        }
+
+
+class ServiceMetrics:
+    """Everything the service measures about itself: one
+    :class:`~repro.obs.ServiceCounters` registry plus per-class
+    :class:`LatencyStats`."""
+
+    def __init__(self) -> None:
+        self.counters = ServiceCounters()
+        self.latency: Dict[str, LatencyStats] = {
+            priority: LatencyStats() for priority in PRIORITIES
+        }
+
+    def record_latency(self, priority: str, seconds: float) -> None:
+        self.latency[priority].record(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view for the ``/metrics`` endpoint."""
+        return {
+            "counters": self.counters.as_dict(),
+            "latency": {
+                priority: stats.snapshot()
+                for priority, stats in self.latency.items()
+            },
+        }

@@ -1,0 +1,131 @@
+"""Request/response types for the simulation service.
+
+A :class:`SimRequest` names an experiment from the registry, an
+optional scale preset and seed override, and a priority class.  The
+two classes map directly onto the paper's two workload classes:
+``interactive`` requests are the natives (dispatched to the worker
+pool immediately), ``bulk`` requests are the interstitials (held back
+and admitted only into pool-utilization gaps below the cap).
+
+The *content address* of a request deliberately excludes the priority
+class: an interactive and a bulk request for the same configuration
+describe the same deterministic computation, so they share one cache
+entry and coalesce onto one in-flight run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ServiceError
+from repro.experiments.config import SCALES, ExperimentScale
+from repro.store import content_key
+
+#: Priority classes, in "natives first" order.
+INTERACTIVE = "interactive"
+BULK = "bulk"
+PRIORITIES = (INTERACTIVE, BULK)
+
+
+@dataclass
+class ServiceResponse:
+    """One service-layer response: an HTTP-shaped status code plus a
+    JSON-ready payload.  The HTTP front end serializes it verbatim;
+    the in-process path returns it directly."""
+
+    status: int
+    payload: Dict[str, Any]
+    #: Backpressure hint (seconds), set on 429 rejections.
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation request.
+
+    Parameters
+    ----------
+    experiment:
+        Registry experiment name (see ``repro list``).
+    scale:
+        Scale preset name; ``None`` uses the service's default.
+    seed:
+        Root-seed override applied on top of the preset (forces a
+        distinct content address, hence a distinct run).
+    priority:
+        ``"interactive"`` or ``"bulk"``.
+    """
+
+    experiment: str
+    scale: Optional[str] = None
+    seed: Optional[int] = None
+    priority: str = INTERACTIVE
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise ServiceError("'experiment' must be a non-empty string")
+        if self.scale is not None and not isinstance(self.scale, str):
+            raise ServiceError("'scale' must be a preset name or null")
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+        ):
+            raise ServiceError("'seed' must be an integer or null")
+        if self.priority not in PRIORITIES:
+            raise ServiceError(
+                f"'priority' must be one of {PRIORITIES}, "
+                f"got {self.priority!r}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SimRequest":
+        """Build a request from a decoded JSON body, rejecting unknown
+        fields (catching client typos like ``"prioritty"``)."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        known = {"experiment", "scale", "seed", "priority"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ServiceError(f"unknown request fields: {unknown}")
+        if "experiment" not in payload:
+            raise ServiceError("request needs an 'experiment' field")
+        kwargs: Dict[str, Any] = {"experiment": payload["experiment"]}
+        for field in ("scale", "seed"):
+            if payload.get(field) is not None:
+                kwargs[field] = payload[field]
+        if payload.get("priority") is not None:
+            kwargs["priority"] = payload["priority"]
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def resolve_scale(self, default: ExperimentScale) -> ExperimentScale:
+        """The effective scale: named preset (or ``default``) with the
+        seed override applied."""
+        if self.scale is None:
+            scale = default
+        elif self.scale in SCALES:
+            scale = SCALES[self.scale]
+        else:
+            raise ServiceError(
+                f"unknown scale {self.scale!r}; one of {sorted(SCALES)}"
+            )
+        if self.seed is not None:
+            scale = replace(scale, seed=self.seed)
+        return scale
+
+    def run_payload(self, scale: ExperimentScale) -> Dict[str, Any]:
+        """Content-address payload for this request at its effective
+        scale (priority excluded — see the module docstring)."""
+        return {
+            "kind": "service-run",
+            "experiment": self.experiment,
+            "scale": dict(asdict(scale)),
+        }
+
+    def run_key(self, default: ExperimentScale) -> str:
+        """Content address of the request's computation."""
+        return content_key(self.run_payload(self.resolve_scale(default)))

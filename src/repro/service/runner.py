@@ -1,0 +1,68 @@
+"""Process-level entry point for ``repro serve``.
+
+Owns everything that belongs to the *daemon process* rather than the
+service object: the event loop, signal wiring and the shutdown order.
+On SIGTERM/SIGINT the service first stops accepting (``/run`` answers
+503, ``/healthz`` reports ``draining``), lets everything accepted —
+running work and queued bulk — complete, then closes the listener and
+shuts the pool down.  A clean drain exits 0, which is what the CI
+smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.http import HttpFrontend
+
+
+def run_service(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+) -> int:
+    """Boot the daemon and block until a termination signal has been
+    handled and the service has drained.  Returns the exit code."""
+    return asyncio.run(_serve(config, host, port))
+
+
+async def _serve(config: ServiceConfig, host: str, port: int) -> int:
+    service = SimulationService(config)
+    await service.start()
+    frontend = HttpFrontend(service, host, port)
+    await frontend.start()
+
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, shutdown.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            signal.signal(signum, lambda *_: shutdown.set())
+
+    print(
+        f"repro serve: listening on http://{host}:{frontend.port} "
+        f"(workers={config.workers}, bulk_cap={config.bulk_cap}, "
+        f"scale={config.effective_scale().name})",
+        file=sys.stderr,
+        flush=True,
+    )
+    await shutdown.wait()
+    print("repro serve: draining...", file=sys.stderr, flush=True)
+    # Refuse new work but keep /healthz `/metrics` observable while
+    # accepted work completes; only then close the listener.
+    await service.drain()
+    await frontend.stop()
+    await service.stop()
+    counters = service.metrics.counters
+    print(
+        f"repro serve: drained cleanly ({counters.requests} requests, "
+        f"{counters.computes} computes, {counters.cache_hits} cache "
+        f"hits, {counters.coalesced_hits} coalesced)",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0

@@ -22,6 +22,16 @@ The store has two layers:
 
 Unreadable or torn disk entries are treated as misses (a concurrent
 writer may be mid-flight); determinism makes recomputation safe.
+
+Disk-backed stores additionally coordinate *computation* across
+processes: on a miss, ``get_or_compute`` takes a per-key ownership
+lease (an ``O_EXCL`` lock file) before running ``compute``, and
+processes that lose the race wait for the owner's entry instead of
+recomputing it — the cache-stampede fix the serving daemon relies on
+when many clients request the same uncached configuration at once.  A
+lease whose owner died is considered stale after ``lease_timeout``
+seconds and is broken by the next contender, so the guard degrades to
+the old compute-everywhere behavior rather than deadlocking.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, TypeVar, Union
 
@@ -83,18 +94,35 @@ class RunStore:
     path:
         Optional directory for the shared on-disk layer.  Created if
         missing.  ``None`` keeps the store purely in-memory.
+    lease_timeout:
+        Seconds after which another process's in-flight computation
+        lease is presumed dead and may be broken (disk layer only).
+    poll_interval:
+        Seconds between polls while waiting on another process's
+        lease (disk layer only).
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        lease_timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> None:
         self._memory: Dict[str, Any] = {}
         self._path: Optional[Path] = None
         if path is not None:
             self._path = Path(path)
             self._path.mkdir(parents=True, exist_ok=True)
+        self._lease_timeout = float(lease_timeout)
+        self._poll_interval = float(poll_interval)
         #: Diagnostic counters (memory hits / disk hits / computes).
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        #: Times this store waited on another process's in-flight lease
+        #: instead of stampeding into a duplicate computation.
+        self.lease_waits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -138,7 +166,13 @@ class RunStore:
         self, payload: Mapping[str, Any], compute: Callable[[], T]
     ) -> T:
         """The main entry point: memoized ``compute()`` keyed by the
-        content address of ``payload``."""
+        content address of ``payload``.
+
+        With a disk layer, concurrent callers (threads or processes)
+        missing on the same key elect a single owner through a lease
+        file; the rest wait for the owner's entry instead of
+        recomputing (see the module docstring).
+        """
         key = content_key(payload)
         if key in self._memory:
             self.hits += 1
@@ -148,14 +182,109 @@ class RunStore:
             self.disk_hits += 1
             self._memory[key] = value
             return value
+        if self._path is None:
+            return self._compute_and_store(key, compute)
+        while True:
+            claim = self._acquire_lease(key)
+            if claim is not _LEASE_BUSY:
+                try:
+                    # The previous owner may have finished between our
+                    # disk miss and taking over the lease.
+                    value = self._read_disk(key)
+                    if value is not _MISS:
+                        self.disk_hits += 1
+                        self._memory[key] = value
+                        return value
+                    return self._compute_and_store(key, compute)
+                finally:
+                    self._release_lease(claim)
+            self.lease_waits += 1
+            value = self._wait_for_entry(key)
+            if value is not _MISS:
+                self.disk_hits += 1
+                self._memory[key] = value
+                return value
+            # Owner released without producing an entry (its compute
+            # raised, or its lease went stale): contend for ownership.
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are left alone)."""
+        self._memory.clear()
+
+    def _compute_and_store(self, key: str, compute: Callable[[], T]) -> T:
         self.misses += 1
         value = compute()
         self.put(key, value)
         return value
 
-    def clear(self) -> None:
-        """Drop the in-memory layer (disk entries are left alone)."""
-        self._memory.clear()
+    # ------------------------------------------------------------------
+    # In-flight ownership leases (disk layer only)
+    # ------------------------------------------------------------------
+    def _lease_file(self, key: str) -> Path:
+        return self._path / f"{key}.lock"
+
+    def _acquire_lease(self, key: str) -> Any:
+        """Try to claim ownership of computing ``key``.
+
+        Returns a claim token to pass to :meth:`_release_lease`, or
+        :data:`_LEASE_BUSY` when a live owner already holds the lease.
+        Lease-file I/O failures disable coordination for this call
+        (token ``None``): computing without a guard is always safe,
+        just potentially duplicated.
+        """
+        lease = self._lease_file(key)
+        for attempt in (0, 1):
+            try:
+                fd = os.open(
+                    lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(str(os.getpid()))
+                return lease
+            except FileExistsError:
+                if attempt or not self._lease_stale(lease):
+                    return _LEASE_BUSY
+                # Stale owner: break the lease and retry the claim
+                # once (a racing contender may beat us to it).
+                try:
+                    os.unlink(lease)
+                except OSError:
+                    return _LEASE_BUSY
+            except OSError:
+                return None
+        return _LEASE_BUSY  # pragma: no cover - loop always returns
+
+    def _release_lease(self, claim: Any) -> None:
+        if claim is None:
+            return
+        try:
+            os.unlink(claim)
+        except OSError:
+            pass
+
+    def _lease_stale(self, lease: Path) -> bool:
+        try:
+            age = time.time() - lease.stat().st_mtime
+        except OSError:
+            # Vanished between the existence check and the stat: the
+            # owner just released; not stale, re-contend immediately.
+            return False
+        return age > self._lease_timeout
+
+    def _wait_for_entry(self, key: str) -> Any:
+        """Poll for the lease owner's entry; ``_MISS`` when the owner
+        released (or went stale) without producing one."""
+        lease = self._lease_file(key)
+        deadline = time.monotonic() + self._lease_timeout
+        while True:
+            value = self._read_disk(key)
+            if value is not _MISS:
+                return value
+            if not lease.exists() or self._lease_stale(lease):
+                return self._read_disk(key)
+            if time.monotonic() > deadline:
+                return _MISS
+            time.sleep(self._poll_interval)
 
     # ------------------------------------------------------------------
     # Disk layer
@@ -208,3 +337,6 @@ class RunStore:
 
 #: Unique disk-miss sentinel (None is a legal stored value).
 _MISS = object()
+
+#: Lease-claim sentinel: a live owner already holds the lease.
+_LEASE_BUSY = object()

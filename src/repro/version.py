@@ -1,0 +1,29 @@
+"""Package version resolution.
+
+The single source of truth is the installed distribution metadata
+(``pyproject.toml``'s ``version`` field, read back through
+:mod:`importlib.metadata`).  Running from a source checkout with
+``PYTHONPATH=src`` — the documented no-install workflow — has no
+distribution record, so the fallback returns the same base version
+tagged ``+src`` to make "not installed" visible in ``repro --version``
+and the service ``/healthz`` payload.
+"""
+
+from __future__ import annotations
+
+from importlib import metadata
+
+#: Kept in sync with ``pyproject.toml`` for source-tree runs.
+_FALLBACK = "1.0.0"
+
+
+def repro_version() -> str:
+    """The package version string, e.g. ``"1.0.0"``.
+
+    Sourced from the installed distribution metadata; a source-tree
+    run (no installed distribution) yields ``"<base>+src"``.
+    """
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        return f"{_FALLBACK}+src"

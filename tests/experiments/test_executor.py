@@ -1,0 +1,69 @@
+"""Tests for the parallel/worker executor machinery.
+
+The serving daemon reuses :func:`render_experiment` on a *long-lived*
+``ProcessPoolExecutor``, so a worker raising mid-run must fail only
+that submission — the pool has to stay usable for everything after it.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.context import RunContext
+from repro.experiments.executor import (
+    render_experiment,
+    run_experiments,
+)
+
+
+class TestRenderExperiment:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            render_experiment("not-a-table", SCALES["quick"])
+
+    def test_renders_in_process(self):
+        text = render_experiment("table1", SCALES["quick"])
+        assert "Table 1" in text
+
+    def test_matches_serial_driver(self):
+        ctx = RunContext(scale=SCALES["quick"])
+        serial = run_experiments(["table1"], ctx)["table1"]
+        assert render_experiment("table1", SCALES["quick"]) == serial
+
+
+class TestLongLivedPool:
+    def test_worker_raise_does_not_wedge_pool(self):
+        """A raising worker fails its own future; later submissions on
+        the *same* pool still succeed (the serving contract)."""
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            bad = pool.submit(
+                render_experiment, "not-a-table", SCALES["quick"]
+            )
+            with pytest.raises(KeyError, match="unknown experiment"):
+                bad.result(timeout=120)
+            good = pool.submit(
+                render_experiment, "table1", SCALES["quick"]
+            )
+            assert "Table 1" in good.result(timeout=120)
+
+    def test_interleaved_failures_and_successes(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(
+                    render_experiment, name, SCALES["quick"]
+                )
+                for name in ("nope-a", "table1", "nope-b")
+            ]
+            with pytest.raises(KeyError):
+                futures[0].result(timeout=120)
+            assert "Table 1" in futures[1].result(timeout=120)
+            with pytest.raises(KeyError):
+                futures[2].result(timeout=120)
+
+
+class TestRunExperiments:
+    def test_unknown_names_rejected_before_pool(self):
+        ctx = RunContext(scale=SCALES["quick"])
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments(["table1", "bogus"], ctx, jobs=4)

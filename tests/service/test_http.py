@@ -1,0 +1,273 @@
+"""Tests for the HTTP front end and the two clients.
+
+A real ``asyncio`` server is booted on an ephemeral port with the
+thread-pool stub worker behind it, and driven through
+:class:`ServiceClient` (plus one raw socket for wire-level cases).
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.config import SCALES
+from repro.service import (
+    HttpFrontend,
+    InProcessClient,
+    ServiceClient,
+    ServiceConfig,
+)
+from tests.service.conftest import make_service, quick_worker
+
+
+class ServedFixture:
+    """A service + HTTP front end running on a background loop."""
+
+    def __init__(self, **service_kwargs):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self.thread.start()
+        self.service = make_service(**service_kwargs)
+        self.call(self.service.start())
+        self.frontend = HttpFrontend(self.service, port=0)
+        self.call(self.frontend.start())
+        self.client = ServiceClient(port=self.frontend.port)
+
+    def call(self, coro, timeout=30.0):
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop
+        ).result(timeout)
+
+    def close(self):
+        self.call(self.frontend.stop())
+        self.call(self.service.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+        self.loop.close()
+
+    def raw(self, payload: bytes) -> bytes:
+        """Send raw bytes, return the full response."""
+        with socket.create_connection(
+            ("127.0.0.1", self.frontend.port), timeout=10.0
+        ) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+
+
+@pytest.fixture
+def served():
+    fixture = ServedFixture()
+    yield fixture
+    fixture.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        reply = served.client.healthz()
+        assert reply.ok
+        assert reply.payload["status"] == "ok"
+        assert reply.payload["workers"] == 2
+        assert reply.payload["bulk_cap"] == pytest.approx(0.9)
+        assert reply.payload["version"]
+        assert reply.payload["uptime_s"] >= 0.0
+
+    def test_run_and_cache(self, served):
+        first = served.client.run("table1", seed=11)
+        again = served.client.run("table1", seed=11)
+        assert first.ok and again.ok
+        assert first.result == "rendered table1 seed=11"
+        assert not first.cached
+        assert again.cached
+        metrics = served.client.metrics()
+        assert metrics.payload["counters"]["computes"] == 1
+        assert metrics.payload["counters"]["cache_hits"] == 1
+
+    def test_bulk_priority_accepted(self, served):
+        reply = served.client.run("table1", seed=12, priority="bulk")
+        assert reply.ok
+        assert reply.payload["priority"] == "bulk"
+        metrics = served.client.metrics()
+        assert metrics.payload["counters"]["bulk_requests"] == 1
+
+    def test_metrics_shape(self, served):
+        served.client.run("table1", seed=13)
+        snap = served.client.metrics().payload
+        assert "counters" in snap and "latency" in snap
+        assert snap["store"]["entries"] == 1
+        assert snap["latency"]["interactive"]["count"] == 1
+
+    def test_validation_errors(self, served):
+        assert served.client.run("nope").status == 400
+        assert served.client.run(
+            "table1", scale="galactic"
+        ).status == 400
+
+    def test_draining_run_rejected(self, served):
+        served.call(served.service.drain())
+        reply = served.client.run("table1", seed=14)
+        assert reply.status == 503
+        assert served.client.healthz().payload["status"] == "draining"
+
+
+class TestWireLevel:
+    def test_unknown_path_404(self, served):
+        raw = served.raw(b"GET /nope HTTP/1.1\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 404")
+
+    def test_method_not_allowed(self, served):
+        raw = served.raw(b"POST /healthz HTTP/1.1\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 405")
+        raw = served.raw(b"GET /run HTTP/1.1\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 405")
+
+    def test_malformed_request_line(self, served):
+        raw = served.raw(b"garbage\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_bad_json_body(self, served):
+        body = b"{not json"
+        raw = served.raw(
+            b"POST /run HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_unknown_request_field(self, served):
+        body = json.dumps(
+            {"experiment": "table1", "prioritty": "bulk"}
+        ).encode()
+        raw = served.raw(
+            b"POST /run HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"prioritty" in raw
+
+    def test_bad_content_length(self, served):
+        raw = served.raw(
+            b"POST /run HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_body_rejected(self, served):
+        raw = served.raw(
+            b"POST /run HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n"
+        )
+        assert raw.startswith(b"HTTP/1.1 413")
+
+    def test_truncated_body(self, served):
+        raw = served.raw(
+            b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_responses_declare_close_and_json(self, served):
+        raw = served.raw(b"GET /healthz HTTP/1.1\r\n\r\n")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"Content-Type: application/json" in head
+        assert b"Connection: close" in head
+        assert json.loads(body)["status"] == "ok"
+
+
+class TestBackpressureHeaders:
+    def test_retry_after_header_present(self):
+        import time
+
+        fixture = ServedFixture(workers=1, bulk_cap=1.0, max_queue=1)
+        try:
+            def slow(name, scale, store_path, check):
+                time.sleep(0.6)
+                return "slow"
+
+            fixture.service._worker_fn = slow
+            # Occupy the single worker, fill the one-slot queue, then
+            # the next bulk arrival must bounce with Retry-After.
+            results = []
+
+            def bulk(seed):
+                results.append(
+                    fixture.client.run(
+                        "table1", seed=seed, priority="bulk"
+                    )
+                )
+
+            threads = []
+            for seed in (1, 2):
+                thread = threading.Thread(target=bulk, args=(seed,))
+                thread.start()
+                threads.append(thread)
+                time.sleep(0.15)
+            rejected = fixture.client.run(
+                "table1", seed=3, priority="bulk"
+            )
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert rejected.status == 429
+            assert rejected.retry_after >= 1.0
+            assert sorted(r.status for r in results) == [200, 200]
+        finally:
+            fixture.close()
+
+
+class TestClientSurface:
+    def test_run_many_preserves_order(self, served):
+        payloads = [
+            {"experiment": "table1", "seed": i} for i in (21, 22, 23)
+        ]
+        replies = served.client.run_many(payloads, max_workers=3)
+        assert [r.payload["seed"] for r in replies] == [21, 22, 23]
+
+    def test_wait_until_healthy_times_out_fast(self):
+        client = ServiceClient(port=1, timeout=0.2)
+        with pytest.raises(ServiceError, match="not healthy"):
+            client.wait_until_healthy(timeout=0.3, interval=0.05)
+
+
+class TestInProcessClient:
+    def test_context_manager_roundtrip(self):
+        config = ServiceConfig(workers=2, scale=SCALES["quick"])
+        with InProcessClient(
+            config,
+            pool_factory=_thread_pool,
+            worker_fn=quick_worker,
+        ) as client:
+            first = client.run("table1", seed=31)
+            again = client.run("table1", seed=31)
+            assert first.ok and not first.cached
+            assert again.cached
+            assert client.healthz().payload["status"] == "ok"
+            snap = client.metrics().payload
+            assert snap["counters"]["computes"] == 1
+
+    def test_run_many_coalesces(self):
+        config = ServiceConfig(workers=2, scale=SCALES["quick"])
+        with InProcessClient(
+            config,
+            pool_factory=_thread_pool,
+            worker_fn=quick_worker,
+        ) as client:
+            payloads = [
+                {"experiment": "table1", "seed": 41} for _ in range(5)
+            ]
+            replies = client.run_many(payloads)
+            assert all(r.ok for r in replies)
+            counters = client.service.metrics.counters
+            assert counters.computes == 1
+            assert counters.coalesced_hits == 4
+
+
+def _thread_pool(n):
+    from concurrent.futures import ThreadPoolExecutor
+
+    return ThreadPoolExecutor(max_workers=n)

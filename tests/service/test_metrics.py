@@ -1,0 +1,77 @@
+"""Tests for service metrics: latency reservoirs and counters."""
+
+import pytest
+
+from repro.obs import ServiceCounters
+from repro.service import LatencyStats, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 99) == 5.0
+        assert percentile(samples, 20) == 1.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyStats:
+    def test_records_and_snapshots(self):
+        stats = LatencyStats()
+        for value in (0.1, 0.2, 0.3):
+            stats.record(value)
+        snap = stats.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean_s"] == pytest.approx(0.2)
+        assert snap["p50_s"] == pytest.approx(0.2)
+        assert snap["p99_s"] == pytest.approx(0.3)
+
+    def test_reservoir_bounded_but_count_total(self):
+        stats = LatencyStats(maxlen=10)
+        for i in range(100):
+            stats.record(float(i))
+        assert stats.count == 100
+        # Percentiles come from the newest 10 samples only.
+        assert stats.quantile(50) >= 90.0
+
+    def test_empty_snapshot(self):
+        snap = LatencyStats().snapshot()
+        assert snap == {
+            "count": 0, "mean_s": 0.0, "p50_s": 0.0, "p99_s": 0.0
+        }
+
+
+class TestServiceCounters:
+    def test_merge_is_additive(self):
+        a = ServiceCounters(requests=2, cache_hits=1)
+        b = ServiceCounters(requests=3, computes=4)
+        a.merge(b)
+        assert a.requests == 5
+        assert a.cache_hits == 1
+        assert a.computes == 4
+
+    def test_bool_and_dict(self):
+        assert not ServiceCounters()
+        c = ServiceCounters(admits=1)
+        assert c
+        assert c.as_dict()["admits"] == 1
+        assert list(c.as_dict())[0] == "requests"
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.record_latency("interactive", 0.5)
+        metrics.counters.requests += 1
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests"] == 1
+        assert snap["latency"]["interactive"]["count"] == 1
+        assert snap["latency"]["bulk"]["count"] == 0

@@ -1,0 +1,105 @@
+"""Tests for service request types, validation and content keys."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.config import SCALES
+from repro.service import ServiceResponse, SimRequest
+
+
+class TestValidation:
+    def test_minimal_request(self):
+        req = SimRequest("table1")
+        assert req.priority == "interactive"
+        assert req.scale is None and req.seed is None
+
+    def test_rejects_empty_experiment(self):
+        with pytest.raises(ServiceError):
+            SimRequest("")
+
+    def test_rejects_bad_priority(self):
+        with pytest.raises(ServiceError):
+            SimRequest("table1", priority="urgent")
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ServiceError):
+            SimRequest("table1", seed="seven")
+        with pytest.raises(ServiceError):
+            SimRequest("table1", seed=True)
+
+    def test_rejects_bad_scale_type(self):
+        with pytest.raises(ServiceError):
+            SimRequest("table1", scale=3)
+
+
+class TestFromPayload:
+    def test_roundtrip(self):
+        req = SimRequest.from_payload(
+            {"experiment": "fig5", "scale": "quick", "seed": 9,
+             "priority": "bulk"}
+        )
+        assert req == SimRequest("fig5", scale="quick", seed=9,
+                                 priority="bulk")
+
+    def test_null_fields_are_defaults(self):
+        req = SimRequest.from_payload(
+            {"experiment": "fig5", "scale": None, "seed": None,
+             "priority": None}
+        )
+        assert req == SimRequest("fig5")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="prioritty"):
+            SimRequest.from_payload(
+                {"experiment": "fig5", "prioritty": "bulk"}
+            )
+
+    def test_rejects_missing_experiment(self):
+        with pytest.raises(ServiceError, match="experiment"):
+            SimRequest.from_payload({"scale": "quick"})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServiceError):
+            SimRequest.from_payload(["table1"])
+
+
+class TestKeys:
+    def test_priority_excluded_from_key(self):
+        default = SCALES["quick"]
+        a = SimRequest("table1", seed=3, priority="interactive")
+        b = SimRequest("table1", seed=3, priority="bulk")
+        assert a.run_key(default) == b.run_key(default)
+
+    def test_seed_changes_key(self):
+        default = SCALES["quick"]
+        assert SimRequest("table1", seed=3).run_key(default) != (
+            SimRequest("table1", seed=4).run_key(default)
+        )
+
+    def test_default_scale_matches_named(self):
+        # No scale means the service default; naming the same preset
+        # must land on the same cache entry.
+        default = SCALES["quick"]
+        assert SimRequest("table1").run_key(default) == (
+            SimRequest("table1", scale="quick").run_key(default)
+        )
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ServiceError, match="unknown scale"):
+            SimRequest("table1", scale="galactic").run_key(
+                SCALES["quick"]
+            )
+
+    def test_seed_override_applied(self):
+        scale = SimRequest("table1", seed=99).resolve_scale(
+            SCALES["quick"]
+        )
+        assert scale.seed == 99
+        assert scale.trace_scale == SCALES["quick"].trace_scale
+
+
+class TestServiceResponse:
+    def test_ok_range(self):
+        assert ServiceResponse(200, {}).ok
+        assert not ServiceResponse(429, {}).ok
+        assert not ServiceResponse(500, {}).ok

@@ -53,8 +53,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["table1", "table2"])  # target only valid with profile
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--bulk-cap", "0.75", "--max-queue", "16"]
+        )
+        assert args.experiment == "serve"
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.bulk_cap == pytest.approx(0.75)
+        assert args.max_queue == 16
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.bulk_cap == pytest.approx(0.9)
+
+    def test_serve_rejects_trace_and_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--trace", "t.jsonl"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", "2"])
+
 
 class TestMain:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -1,6 +1,12 @@
 """Tests for the content-addressed run store."""
 
+import os
 import pickle
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -105,3 +111,160 @@ class TestDiskLayer:
         assert store.get_or_compute(
             payload, lambda: pytest.fail("disk entry lost")
         ) == "v"
+
+
+class TestInFlightLeases:
+    """The concurrent-writer guard: one owner computes, everyone else
+    waits for its entry instead of stampeding."""
+
+    def test_waiter_reads_owners_entry(self, tmp_path):
+        payload = {"kind": "lease"}
+        owner = RunStore(tmp_path, poll_interval=0.01)
+        waiter = RunStore(tmp_path, poll_interval=0.01)
+        waiter_calls = []
+
+        def slow_compute():
+            time.sleep(0.4)
+            return "owned"
+
+        thread = threading.Thread(
+            target=lambda: owner.get_or_compute(payload, slow_compute)
+        )
+        thread.start()
+        time.sleep(0.1)  # let the owner take the lease
+        got = waiter.get_or_compute(
+            payload, lambda: waiter_calls.append(1) or "duplicate"
+        )
+        thread.join(timeout=10.0)
+        assert got == "owned"
+        assert waiter_calls == []
+        assert waiter.lease_waits == 1
+        assert waiter.disk_hits == 1
+        assert waiter.misses == 0
+
+    def test_lease_released_after_compute(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = {"kind": "lease"}
+        store.get_or_compute(payload, lambda: "v")
+        assert not list(tmp_path.glob("*.lock"))
+
+    def test_lease_released_on_compute_failure(self, tmp_path):
+        store = RunStore(tmp_path)
+        payload = {"kind": "lease"}
+
+        def boom():
+            raise RuntimeError("compute failed")
+
+        with pytest.raises(RuntimeError):
+            store.get_or_compute(payload, boom)
+        assert not list(tmp_path.glob("*.lock"))
+        # The key is still computable afterwards.
+        assert store.get_or_compute(payload, lambda: "ok") == "ok"
+
+    def test_stale_lease_is_broken(self, tmp_path):
+        payload = {"kind": "lease"}
+        key = content_key(payload)
+        lock = tmp_path / f"{key}.lock"
+        lock.write_text("99999")
+        old = time.time() - 60.0
+        os.utime(lock, (old, old))
+        store = RunStore(tmp_path, lease_timeout=0.5)
+        assert store.get_or_compute(payload, lambda: "took-over") == (
+            "took-over"
+        )
+        assert store.misses == 1
+        assert not lock.exists()
+
+    def test_waiter_takes_over_after_owner_failure(self, tmp_path):
+        payload = {"kind": "lease"}
+        owner = RunStore(tmp_path, poll_interval=0.01)
+        waiter = RunStore(tmp_path, poll_interval=0.01)
+        owner_error = []
+
+        def failing_compute():
+            time.sleep(0.3)
+            raise RuntimeError("owner died")
+
+        def run_owner():
+            try:
+                owner.get_or_compute(payload, failing_compute)
+            except RuntimeError as exc:
+                owner_error.append(exc)
+
+        thread = threading.Thread(target=run_owner)
+        thread.start()
+        time.sleep(0.1)
+        got = waiter.get_or_compute(payload, lambda: "recovered")
+        thread.join(timeout=10.0)
+        assert got == "recovered"
+        assert len(owner_error) == 1
+        assert waiter.lease_waits >= 1
+
+    def test_memory_store_never_touches_leases(self):
+        store = RunStore()
+        assert store.get_or_compute({"kind": "mem"}, lambda: 1) == 1
+        assert store.lease_waits == 0
+
+
+#: Child process for the multi-process stampede regression: sync on a
+#: ready/go file barrier, then hammer one key through a disk store.
+_HAMMER_SCRIPT = """
+import sys, time
+from pathlib import Path
+from repro.store import RunStore
+
+store_dir, sync_dir, tag = sys.argv[1], Path(sys.argv[2]), sys.argv[3]
+(sync_dir / f"ready-{tag}").touch()
+while not (sync_dir / "go").exists():
+    time.sleep(0.01)
+
+store = RunStore(store_dir, poll_interval=0.02)
+
+def compute():
+    (sync_dir / f"computed-{tag}").touch()
+    time.sleep(0.5)
+    return "product"
+
+print(store.get_or_compute({"kind": "stampede"}, compute), end="")
+"""
+
+
+class TestMultiProcessStampede:
+    def test_one_key_many_processes_single_compute(self, tmp_path):
+        """Regression for the cache stampede: N processes calling
+        ``get_or_compute`` on one uncached key must run ``compute``
+        exactly once, and every process must see the owner's value."""
+        store_dir = tmp_path / "store"
+        sync_dir = tmp_path / "sync"
+        sync_dir.mkdir()
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(
+                Path(__file__).resolve().parent.parent / "src"
+            ),
+        )
+        n = 5
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _HAMMER_SCRIPT,
+                 str(store_dir), str(sync_dir), str(i)],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(n)
+        ]
+        deadline = time.monotonic() + 30.0
+        while len(list(sync_dir.glob("ready-*"))) < n:
+            assert time.monotonic() < deadline, "children never ready"
+            time.sleep(0.01)
+        (sync_dir / "go").touch()
+        outputs = [proc.communicate(timeout=60.0) for proc in procs]
+        assert all(proc.returncode == 0 for proc in procs), outputs
+        assert [out for out, _ in outputs] == ["product"] * n
+        computed = list(sync_dir.glob("computed-*"))
+        assert len(computed) == 1, (
+            f"stampede: {len(computed)} processes computed the key"
+        )
+        assert not list(store_dir.glob("*.lock"))
