@@ -9,11 +9,14 @@
 * ``repro profile <experiment>`` — run one experiment (or ``all``)
   serially with the engine's phase timers attached and print hot-phase
   wall-clock, aggregated event counters, and store behavior;
-* ``repro serve [--host --port --workers N --bulk-cap C]`` — run the
-  long-lived simulation service (see :mod:`repro.service`):
-  interactive requests dispatch to a worker pool immediately, bulk
-  requests are admitted only into utilization gaps below the cap, with
-  response caching, request coalescing and graceful SIGTERM drain.
+* ``repro serve [--host --port --workers N --bulk-cap C --journal F
+  --request-timeout S]`` — run the long-lived simulation service (see
+  :mod:`repro.service`): interactive requests dispatch to a worker
+  pool immediately, bulk requests are admitted only into utilization
+  gaps below the cap, with response caching, request coalescing and
+  graceful SIGTERM drain.  ``--journal`` makes accepted bulk work
+  durable (replayed after a crash); ``--request-timeout`` bounds each
+  dispatch, replacing hung workers and retrying their requests.
 
 ``--store DIR`` persists every simulation run content-addressed under
 DIR, so repeated invocations (and parallel workers) reuse each other's
@@ -166,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 64)"
         ),
     )
+    serving.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help=(
+            "durable bulk-request journal (JSONL WAL): accepted bulk "
+            "requests are fsynced here before admission and replayed "
+            "on the next 'serve' start, so a crashed or SIGKILLed "
+            "daemon resumes its queued work (default: no journal)"
+        ),
+    )
+    serving.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request worker deadline: a dispatch running longer "
+            "is treated as hung, its pool is replaced and the request "
+            "retried with backoff, dead-lettered after the retry "
+            "budget (default: no deadline)"
+        ),
+    )
     return parser
 
 
@@ -210,6 +236,8 @@ def main(argv=None) -> int:
             scale=scale,
             store_path=args.store,
             check_invariants=args.check_invariants,
+            journal_path=args.journal,
+            request_timeout=args.request_timeout,
         )
         return run_service(config, host=args.host, port=args.port)
     ctx = RunContext(

@@ -45,3 +45,9 @@ class TraceFormatError(ReproError):
 class ServiceError(ReproError):
     """The serving daemon received an invalid request or reached an
     inconsistent serving state."""
+
+
+class DeadLetterError(ServiceError):
+    """A request was abandoned after exhausting its retry budget
+    against crashed or hung workers (see
+    :mod:`repro.service.resilience`)."""

@@ -19,7 +19,7 @@ so ``repro.sim`` (and everything above it) can import ``repro.obs``
 freely.
 """
 
-from repro.obs.counters import Counters, ServiceCounters
+from repro.obs.counters import Counters, ServiceCounters, StoreCounters
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlRecorder,
@@ -33,6 +33,7 @@ from repro.obs.timers import PhaseStat, PhaseTimers
 __all__ = [
     "Counters",
     "ServiceCounters",
+    "StoreCounters",
     "TraceRecord",
     "TraceRecorder",
     "NullRecorder",

@@ -92,6 +92,59 @@ class Counters:
 
 
 @dataclass
+class StoreCounters:
+    """Integer counters for one :class:`~repro.store.RunStore`.
+
+    Same contract as :class:`Counters` — always on, additive
+    :meth:`merge`, stable :meth:`as_dict` order — but counting cache
+    and coordination behavior instead of engine events.
+
+    Attributes
+    ----------
+    hits:
+        In-memory layer hits.
+    disk_hits:
+        On-disk layer hits (entry loaded and promoted to memory).
+    misses:
+        Lookups that fell through to a compute.
+    lease_waits:
+        Times this store waited on another process's in-flight
+        computation lease instead of stampeding into a duplicate run.
+    lease_breaks:
+        Stale leases (owner presumed dead) this store broke to take
+        over a computation.
+    integrity_failures:
+        Disk entries whose content failed SHA-256 verification (or
+        could not be decoded at all).
+    quarantined:
+        Corrupt disk entries moved into the store's ``corrupt/``
+        subdirectory instead of crashing the reader.
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    lease_waits: int = 0
+    lease_breaks: int = 0
+    integrity_failures: int = 0
+    quarantined: int = 0
+
+    def merge(self, other: "StoreCounters") -> "StoreCounters":
+        """Add ``other``'s counts into this registry; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field -> value mapping in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __bool__(self) -> bool:
+        """True when any counter is non-zero."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass
 class ServiceCounters:
     """Integer request counters for the serving daemon
     (:mod:`repro.service`), surfaced by its ``/metrics`` endpoint.
@@ -126,6 +179,20 @@ class ServiceCounters:
         Dispatched computations that raised in the worker.
     drain_rejections:
         Requests refused because the service was draining.
+    retries:
+        Re-executions of a request whose worker crashed, hung past
+        its deadline, or lost its pool (bounded by the service's
+        :class:`~repro.faults.RetryPolicy`).
+    dead_letters:
+        Requests abandoned after exhausting their retry budget.
+    worker_replacements:
+        Times the supervisor replaced the worker pool after a crash,
+        a hung request, or a failed heartbeat.
+    request_timeouts:
+        Dispatches that exceeded the per-request deadline.
+    journal_replays:
+        Accepted bulk requests recovered from the durable journal and
+        re-executed after a restart.
     """
 
     requests: int = 0
@@ -139,6 +206,11 @@ class ServiceCounters:
     rejections: int = 0
     failures: int = 0
     drain_rejections: int = 0
+    retries: int = 0
+    dead_letters: int = 0
+    worker_replacements: int = 0
+    request_timeouts: int = 0
+    journal_replays: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Add ``other``'s counts into this registry; returns self."""

@@ -8,7 +8,12 @@ worker pool under the paper's two-class policy — interactive natives
 dispatch immediately, bulk interstitials are admitted only into
 utilization gaps below a cap — with content-addressed response
 caching, in-flight request coalescing, bounded-queue backpressure and
-graceful drain.  See ``DESIGN.md`` §11 for the architecture.
+graceful drain.  The :mod:`~repro.service.resilience` layer makes the
+daemon self-healing: accepted bulk work is WAL-journaled and replayed
+after a crash, crashed/hung workers are replaced with their requests
+retried or dead-lettered, and corrupt store entries are quarantined
+and recomputed.  See ``DESIGN.md`` §11 for the architecture and §12
+for the failure semantics.
 """
 
 from repro.service.client import (
@@ -25,6 +30,11 @@ from repro.service.requests import (
     PRIORITIES,
     ServiceResponse,
     SimRequest,
+)
+from repro.service.resilience import (
+    DEFAULT_SERVICE_RETRY,
+    BulkJournal,
+    WorkerSupervisor,
 )
 from repro.service.runner import run_service
 
@@ -43,5 +53,8 @@ __all__ = [
     "ServiceClient",
     "InProcessClient",
     "ServiceReply",
+    "BulkJournal",
+    "WorkerSupervisor",
+    "DEFAULT_SERVICE_RETRY",
     "run_service",
 ]

@@ -26,12 +26,22 @@ Layered on top of admission:
   whose ``retry_after`` is computed from queue depth and observed
   latency;
 * **graceful drain** — new work is refused while everything already
-  accepted (queued bulk included) runs to completion.
+  accepted (queued bulk included) runs to completion;
+* **durability** — with a journal configured, every accepted bulk
+  request is WAL-logged (fsynced before admission) and settled with
+  exactly one terminal record, so a crashed or SIGKILLed daemon
+  replays and finishes its accepted backlog on restart;
+* **supervision** — dispatches run under the
+  :class:`~repro.service.resilience.WorkerSupervisor`: crashed or
+  hung workers are replaced and the victim request retried under a
+  :class:`~repro.faults.RetryPolicy`, dead-lettered once the budget
+  is spent.
 
 The event loop owns all mutable state; only worker computations leave
 the loop thread.  Tests can substitute the pool and the worker
 function (``pool_factory`` / ``worker_fn``) to drive admission timing
-deterministically without real simulations.
+deterministically without real simulations.  See ``DESIGN.md`` §12
+for the failure semantics.
 """
 
 from __future__ import annotations
@@ -41,18 +51,26 @@ import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Set
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import ConfigurationError, DeadLetterError, ServiceError
 from repro.experiments.config import ExperimentScale, current_scale
 from repro.experiments.executor import render_experiment
 from repro.experiments.registry import SPECS
+from repro.faults import RetryPolicy
 from repro.service.metrics import ServiceMetrics
 from repro.service.requests import (
     BULK,
-    INTERACTIVE,
     ServiceResponse,
     SimRequest,
+)
+from repro.service.resilience import (
+    COMPLETED,
+    DEAD_LETTERED,
+    DEFAULT_SERVICE_RETRY,
+    FAILED,
+    BulkJournal,
+    WorkerSupervisor,
 )
 from repro.store import RunStore, content_key
 from repro.version import repro_version
@@ -84,6 +102,26 @@ class ServiceConfig:
         cache *and* the workers' simulation-product cache).
     check_invariants:
         Run worker simulations with the engine validator enabled.
+    journal_path:
+        Optional path for the durable bulk-request journal (WAL).
+        Accepted bulk requests are fsynced here before admission and
+        replayed on the next start, so a crashed daemon resumes its
+        queued work.  ``None`` disables journaling.
+    request_timeout:
+        Per-request worker deadline in seconds; a dispatch running
+        longer is treated as hung — its pool is replaced and the
+        request retried.  ``None`` disables deadlines.
+    retry:
+        :class:`~repro.faults.RetryPolicy` bounding re-execution of
+        requests whose worker crashed or hung (dead-letter after the
+        attempt budget).
+    heartbeat_interval:
+        Probe an idle worker pool every this many seconds; replace it
+        on a failed probe.  ``None`` disables the heartbeat.
+    lease_timeout:
+        Stale-lease timeout for the run store's cross-process
+        computation leases; ``None`` defers to ``REPRO_LEASE_TIMEOUT``
+        or the store default.
     """
 
     workers: int = 2
@@ -93,6 +131,11 @@ class ServiceConfig:
     scale: Optional[ExperimentScale] = None
     store_path: Optional[str] = None
     check_invariants: bool = False
+    journal_path: Optional[str] = None
+    request_timeout: Optional[float] = None
+    retry: RetryPolicy = DEFAULT_SERVICE_RETRY
+    heartbeat_interval: Optional[float] = None
+    lease_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -109,17 +152,35 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"max_backlog must be >= 0: {self.max_backlog}"
             )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive: {self.request_timeout}"
+            )
+        if (
+            self.heartbeat_interval is not None
+            and self.heartbeat_interval <= 0
+        ):
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive: "
+                f"{self.heartbeat_interval}"
+            )
+        if self.lease_timeout is not None and self.lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be positive: {self.lease_timeout}"
+            )
 
     def effective_scale(self) -> ExperimentScale:
         return self.scale if self.scale is not None else current_scale()
 
 
 class SimulationService:
-    """Admission-controlled, cached, coalescing simulation runner.
+    """Admission-controlled, cached, coalescing, self-healing
+    simulation runner.
 
-    Lifecycle: construct, ``await start()``, serve ``await
-    submit(request)`` calls, then ``await stop()`` (which drains).
-    All coroutines must run on one event loop.
+    Lifecycle: construct, ``await start()`` (which replays any journal
+    backlog), serve ``await submit(request)`` calls, then ``await
+    stop()`` (which drains).  All coroutines must run on one event
+    loop.
     """
 
     def __init__(
@@ -131,41 +192,61 @@ class SimulationService:
     ) -> None:
         self.config = config
         self.metrics = ServiceMetrics()
-        self.store = RunStore(config.store_path)
+        self.store = RunStore(
+            config.store_path, lease_timeout=config.lease_timeout
+        )
         self._scale = config.effective_scale()
         self._pool_factory = pool_factory or (
             lambda n: ProcessPoolExecutor(max_workers=n)
         )
         self._worker_fn = worker_fn or render_experiment
-        self._pool: Optional[Any] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self.journal: Optional[BulkJournal] = None
+        if config.journal_path is not None:
+            self.journal = BulkJournal(config.journal_path)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._cond: Optional[asyncio.Condition] = None
         self._admission_task: Optional[asyncio.Task] = None
         #: content key -> future resolving to ("ok", text) | ("error", msg)
         self._inflight: Dict[str, asyncio.Future] = {}
         self._bulk_queue: Deque[asyncio.Event] = deque()
+        self._replay_tasks: Set[asyncio.Task] = set()
+        self._journal_sync_fut: Optional[asyncio.Future] = None
         self._busy = 0
         self._draining = False
         self._stopping = False
         self._started_at = time.monotonic()
+        #: Journal entries replayed by the most recent ``start()``.
+        self.replayed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Create the pool and the bulk admission loop (call once,
+        """Create the pool, the bulk admission loop, and (with a
+        journal) replay the accepted-but-unsettled backlog (call once,
         inside the event loop)."""
         self._loop = asyncio.get_running_loop()
         self._cond = asyncio.Condition()
-        self._pool = self._pool_factory(self.config.workers)
+        self.supervisor = WorkerSupervisor(
+            self._pool_factory,
+            self.config.workers,
+            counters=self.metrics.counters,
+            retry=self.config.retry,
+            request_timeout=self.config.request_timeout,
+            heartbeat_interval=self.config.heartbeat_interval,
+        )
+        await self.supervisor.start()
         self._admission_task = self._loop.create_task(
             self._admission_loop()
         )
         self._started_at = time.monotonic()
+        if self.journal is not None:
+            self._replay_journal()
 
     async def drain(self) -> None:
-        """Refuse new work; wait until everything accepted (running
-        *and* queued bulk) has completed."""
+        """Refuse new work; wait until everything accepted (running,
+        queued bulk, and replayed journal entries) has completed."""
         self._draining = True
         async with self._cond:
             self._cond.notify_all()
@@ -180,14 +261,80 @@ class SimulationService:
         if self._admission_task is not None:
             await self._admission_task
             self._admission_task = None
-        if self._pool is not None:
-            pool = self._pool
-            self._pool = None
-            await self._loop.run_in_executor(None, pool.shutdown, True)
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     def _idle(self) -> bool:
         return (
-            not self._bulk_queue and self._busy == 0 and not self._inflight
+            not self._bulk_queue
+            and self._busy == 0
+            and not self._inflight
+            and not self._replay_tasks
+        )
+
+    # ------------------------------------------------------------------
+    # Journal replay
+    # ------------------------------------------------------------------
+    def _replay_journal(self) -> None:
+        """Resume every accepted-but-unsettled bulk request from the
+        WAL: each replays through the normal cache/coalesce/admission
+        pipeline (as bulk, so replayed work stays interstitial-class)
+        and settles its journal entry exactly once."""
+        entries = self.journal.recover()
+        self.replayed = len(entries)
+        self.metrics.counters.journal_replays += len(entries)
+        for entry in entries:
+            task = self._loop.create_task(self._replay_entry(entry))
+            self._replay_tasks.add(task)
+            task.add_done_callback(self._replay_done)
+
+    def _replay_done(self, task: asyncio.Task) -> None:
+        self._replay_tasks.discard(task)
+        if not task.cancelled():
+            task.exception()  # consume; failures settle inside the task
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.create_task(self._notify())
+
+    async def _replay_entry(self, entry: Dict[str, Any]) -> None:
+        entry_id = entry["id"]
+        try:
+            if entry["experiment"] not in SPECS:
+                raise ServiceError(
+                    f"unknown experiment {entry['experiment']!r}"
+                )
+            request = SimRequest(
+                experiment=entry["experiment"],
+                scale=entry.get("scale"),
+                seed=entry.get("seed"),
+                priority=BULK,
+            )
+            scale = request.resolve_scale(self._scale)
+        except (ServiceError, KeyError):
+            # The journaled config no longer validates (registry or
+            # scale drift across a restart): terminally failed.
+            self.journal.record_settle(entry_id, FAILED)
+            self.metrics.counters.failures += 1
+            return
+        key = content_key(request.run_payload(scale))
+        cached = self.store.get(key, _MISS)
+        if cached is not _MISS:
+            # Completed before the crash (settle record was lost, or
+            # another accepted entry computed the same key).
+            self.journal.record_settle(entry_id, COMPLETED)
+            return
+        if key in self._inflight:
+            await self._settle_from_future(entry_id, self._inflight[key])
+            return
+        await self._execute(request, scale, key, journal_id=entry_id)
+
+    async def _settle_from_future(
+        self, entry_id: int, future: asyncio.Future
+    ) -> None:
+        outcome, _value = await asyncio.shield(future)
+        self.journal.record_settle(
+            entry_id, COMPLETED if outcome == "ok" else FAILED
         )
 
     # ------------------------------------------------------------------
@@ -225,12 +372,29 @@ class SimulationService:
         snap["busy"] = self._busy
         snap["bulk_queue_depth"] = self.bulk_queue_depth()
         snap["inflight"] = len(self._inflight)
+        store = self.store.counters
         snap["store"] = {
             "entries": len(self.store),
-            "hits": self.store.hits,
-            "disk_hits": self.store.disk_hits,
-            "misses": self.store.misses,
-            "lease_waits": self.store.lease_waits,
+            "hits": store.hits,
+            "disk_hits": store.disk_hits,
+            "misses": store.misses,
+            "lease_waits": store.lease_waits,
+            "lease_breaks": store.lease_breaks,
+            "integrity_failures": store.integrity_failures,
+            "quarantined": store.quarantined,
+        }
+        snap["resilience"] = {
+            "pool_generation": (
+                self.supervisor.generation if self.supervisor else 0
+            ),
+            "journal_open": (
+                self.journal.open_count if self.journal else 0
+            ),
+            "journal_torn_records": (
+                self.journal.torn_records if self.journal else 0
+            ),
+            "journal_fsyncs": self.journal.fsyncs if self.journal else 0,
+            "replayed_on_start": self.replayed,
         }
         return snap
 
@@ -239,7 +403,7 @@ class SimulationService:
     # ------------------------------------------------------------------
     async def submit(self, request: SimRequest) -> ServiceResponse:
         """Run one request through the full pipeline: validate, cache,
-        coalesce, admit, compute, store."""
+        coalesce, journal (bulk), admit, compute, store, settle."""
         counters = self.metrics.counters
         counters.requests += 1
         if request.priority == BULK:
@@ -272,11 +436,14 @@ class SimulationService:
 
         if key in self._inflight:
             counters.coalesced_hits += 1
+            journal_id = await self._journal_accept(request, key)
             outcome, value = await asyncio.shield(self._inflight[key])
             if outcome != "ok":
+                self._journal_settle(journal_id, FAILED)
                 return ServiceResponse(
                     500, {"status": "error", "error": value}
                 )
+            self._journal_settle(journal_id, COMPLETED)
             return self._ok(request, scale, key, value,
                             cached=False, coalesced=True, elapsed=0.0)
 
@@ -285,6 +452,24 @@ class SimulationService:
             counters.rejections += 1
             return rejection
 
+        journal_id = await self._journal_accept(request, key)
+        return await self._execute(
+            request, scale, key, journal_id=journal_id
+        )
+
+    async def _execute(
+        self,
+        request: SimRequest,
+        scale: ExperimentScale,
+        key: str,
+        *,
+        journal_id: Optional[int] = None,
+    ) -> ServiceResponse:
+        """Admit, compute on the supervised pool, store, and resolve
+        coalesced waiters; settles ``journal_id`` (when set) with
+        exactly one terminal record — except on cancellation, where
+        the entry is deliberately left open for the next replay."""
+        counters = self.metrics.counters
         future = self._loop.create_future()
         self._inflight[key] = future
         started = time.monotonic()
@@ -295,8 +480,7 @@ class SimulationService:
                 self._busy += 1
             counters.admits += 1
             try:
-                text = await self._loop.run_in_executor(
-                    self._pool,
+                text = await self.supervisor.run(
                     self._worker_fn,
                     request.experiment,
                     scale,
@@ -307,12 +491,25 @@ class SimulationService:
                 self._busy -= 1
                 await self._notify()
         except asyncio.CancelledError:
-            # Never strand coalesced waiters on an unresolvable future.
+            # Never strand coalesced waiters on an unresolvable
+            # future.  The journal entry stays open on purpose: a
+            # cancelled computation has no terminal state yet and must
+            # replay after restart.
             future.set_result(("error", "computation cancelled"))
             raise
+        except DeadLetterError as exc:
+            counters.failures += 1
+            future.set_result(("error", str(exc)))
+            self._journal_settle(journal_id, DEAD_LETTERED)
+            return ServiceResponse(
+                500,
+                {"status": "error", "error": str(exc),
+                 "dead_lettered": True},
+            )
         except Exception as exc:  # noqa: BLE001 - boundary to workers
             counters.failures += 1
             future.set_result(("error", f"{type(exc).__name__}: {exc}"))
+            self._journal_settle(journal_id, FAILED)
             return ServiceResponse(
                 500,
                 {"status": "error",
@@ -324,11 +521,57 @@ class SimulationService:
             self.store.put(key, text)
             self.metrics.record_latency(request.priority, elapsed)
             future.set_result(("ok", text))
+            self._journal_settle(journal_id, COMPLETED)
             return self._ok(request, scale, key, text,
                             cached=False, coalesced=False, elapsed=elapsed)
         finally:
             self._inflight.pop(key, None)
             await self._notify()
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    async def _journal_accept(
+        self, request: SimRequest, key: str
+    ) -> Optional[int]:
+        """WAL-log an accepted bulk request; durable (fsynced) before
+        returning.  No-op (returns None) for interactive requests or
+        when journaling is disabled."""
+        if self.journal is None or request.priority != BULK:
+            return None
+        entry_id = self.journal.record_accept(
+            key=key,
+            experiment=request.experiment,
+            scale=request.scale,
+            seed=request.seed,
+        )
+        await self._journal_commit()
+        return entry_id
+
+    def _journal_settle(
+        self, journal_id: Optional[int], outcome: str
+    ) -> None:
+        if self.journal is not None and journal_id is not None:
+            self.journal.record_settle(journal_id, outcome)
+
+    async def _journal_commit(self) -> None:
+        """Group-commit: every accept recorded in the same event-loop
+        tick shares one fsync."""
+        fut = self._journal_sync_fut
+        if fut is None:
+            fut = self._loop.create_future()
+            self._journal_sync_fut = fut
+            self._loop.call_soon(self._journal_fsync, fut)
+        await fut
+
+    def _journal_fsync(self, fut: asyncio.Future) -> None:
+        self._journal_sync_fut = None
+        try:
+            self.journal.sync()
+        except OSError as exc:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(None)
 
     # ------------------------------------------------------------------
     # Admission control
@@ -400,11 +643,12 @@ class SimulationService:
 
     def _retry_after(self, priority: str, depth: int) -> float:
         """Expected seconds until the queue has room: depth jobs at
-        the observed mean service time across ``workers`` lanes."""
-        mean = self.metrics.latency[priority].mean
-        if mean <= 0.0:
-            mean = self.metrics.latency[INTERACTIVE].mean or 1.0
-        return max(1.0, depth * mean / self.config.workers)
+        the estimated mean service time across ``workers`` lanes.
+        Always finite and >= 1, even on a fresh daemon whose latency
+        reservoirs are empty (the estimate falls back across classes
+        to a sane default)."""
+        mean = self.metrics.estimated_service_time(priority)
+        return max(1.0, max(depth, 0) * mean / self.config.workers)
 
     # ------------------------------------------------------------------
     def _ok(

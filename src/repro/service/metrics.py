@@ -17,6 +17,11 @@ from typing import Any, Deque, Dict, Iterable
 from repro.obs import ServiceCounters
 from repro.service.requests import PRIORITIES
 
+#: Assumed mean service time (seconds) when no class has observed a
+#: single completed request yet — a fresh daemon under immediate bulk
+#: load quotes Retry-After from this instead of 0 or NaN.
+DEFAULT_SERVICE_TIME_S = 1.0
+
 
 def percentile(samples: Iterable[float], q: float) -> float:
     """The ``q``-th percentile (0 < q <= 100) of ``samples`` by the
@@ -44,9 +49,14 @@ class LatencyStats:
         self.total = 0.0
 
     def record(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds < 0.0:
+            # A non-finite or negative sample (clock weirdness, a
+            # poisoned caller) would corrupt the mean forever; drop it.
+            return
+        self._samples.append(seconds)
         self.count += 1
-        self.total += float(seconds)
+        self.total += seconds
 
     @property
     def mean(self) -> float:
@@ -77,6 +87,24 @@ class ServiceMetrics:
 
     def record_latency(self, priority: str, seconds: float) -> None:
         self.latency[priority].record(seconds)
+
+    def estimated_service_time(self, priority: str) -> float:
+        """Best available mean service time for ``priority``: its own
+        observed mean, then any other class's, then
+        :data:`DEFAULT_SERVICE_TIME_S`.  Always finite and positive —
+        this is what backpressure Retry-After arithmetic divides and
+        multiplies with, so an empty reservoir on a fresh daemon must
+        not surface as 0 or NaN."""
+        ordered = [self.latency[priority]] + [
+            stats
+            for name, stats in self.latency.items()
+            if name != priority
+        ]
+        for stats in ordered:
+            mean = stats.mean
+            if math.isfinite(mean) and mean > 0.0:
+                return mean
+        return DEFAULT_SERVICE_TIME_S
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready view for the ``/metrics`` endpoint."""

@@ -6,7 +6,9 @@ On SIGTERM/SIGINT the service first stops accepting (``/run`` answers
 503, ``/healthz`` reports ``draining``), lets everything accepted —
 running work and queued bulk — complete, then closes the listener and
 shuts the pool down.  A clean drain exits 0, which is what the CI
-smoke job asserts.
+smoke job asserts.  With ``--journal``, accepted bulk requests that
+an *unclean* death (crash, SIGKILL) left unfinished are replayed on
+the next boot — the startup banner reports how many.
 """
 
 from __future__ import annotations
@@ -32,6 +34,14 @@ def run_service(
 async def _serve(config: ServiceConfig, host: str, port: int) -> int:
     service = SimulationService(config)
     await service.start()
+    if service.journal is not None:
+        print(
+            f"repro serve: journal {config.journal_path} "
+            f"({service.replayed} accepted request(s) replayed, "
+            f"{service.journal.torn_records} torn record(s) dropped)",
+            file=sys.stderr,
+            flush=True,
+        )
     frontend = HttpFrontend(service, host, port)
     await frontend.start()
 

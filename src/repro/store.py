@@ -20,8 +20,14 @@ The store has two layers:
   pointed at one ``REPRO_STORE_DIR`` — reuse each other's runs instead
   of recomputing them.
 
-Unreadable or torn disk entries are treated as misses (a concurrent
-writer may be mid-flight); determinism makes recomputation safe.
+Disk entries are integrity-checked: each file carries the SHA-256
+digest of its pickled payload, verified on every read.  A corrupt or
+truncated entry (bit rot, a torn write surviving a crash, a partial
+copy) is *quarantined* — moved into a ``corrupt/`` subdirectory and
+counted — instead of crashing the reader or silently serving garbage;
+the lookup then reports a miss and determinism makes recomputation
+safe.  Entries written by older versions (no digest header) are still
+readable.
 
 Disk-backed stores additionally coordinate *computation* across
 processes: on a miss, ``get_or_compute`` takes a per-key ownership
@@ -30,14 +36,18 @@ processes that lose the race wait for the owner's entry instead of
 recomputing it — the cache-stampede fix the serving daemon relies on
 when many clients request the same uncached configuration at once.  A
 lease whose owner died is considered stale after ``lease_timeout``
-seconds and is broken by the next contender, so the guard degrades to
-the old compute-everywhere behavior rather than deadlocking.
+seconds and is broken by the next contender (a ``lease_breaks``
+counter records each takeover), so the guard degrades to the old
+compute-everywhere behavior rather than deadlocking.  The timeout is
+configurable per store (``lease_timeout=...``) or process-wide via the
+``REPRO_LEASE_TIMEOUT`` environment variable.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
@@ -45,7 +55,37 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, TypeVar, Union
 
+from repro.errors import ConfigurationError
+from repro.obs import StoreCounters
+
 T = TypeVar("T")
+
+#: Header magic for integrity-checked (v2) disk entries.
+_ENTRY_MAGIC = b"repro-store-v2\n"
+
+#: Default stale-lease timeout when neither the constructor nor the
+#: ``REPRO_LEASE_TIMEOUT`` environment variable specifies one.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+def default_lease_timeout() -> float:
+    """The process-wide stale-lease timeout: ``REPRO_LEASE_TIMEOUT``
+    seconds if set (must parse to a positive, finite float), else
+    :data:`DEFAULT_LEASE_TIMEOUT`."""
+    raw = os.environ.get("REPRO_LEASE_TIMEOUT")
+    if raw is None or not raw.strip():
+        return DEFAULT_LEASE_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_LEASE_TIMEOUT must be a number of seconds: {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0.0:
+        raise ConfigurationError(
+            f"REPRO_LEASE_TIMEOUT must be positive and finite: {raw!r}"
+        )
+    return value
 
 
 def canonical_payload(value: Any) -> Any:
@@ -97,6 +137,8 @@ class RunStore:
     lease_timeout:
         Seconds after which another process's in-flight computation
         lease is presumed dead and may be broken (disk layer only).
+        ``None`` falls back to the ``REPRO_LEASE_TIMEOUT`` environment
+        variable, then :data:`DEFAULT_LEASE_TIMEOUT`.
     poll_interval:
         Seconds between polls while waiting on another process's
         lease (disk layer only).
@@ -106,7 +148,7 @@ class RunStore:
         self,
         path: Optional[Union[str, Path]] = None,
         *,
-        lease_timeout: float = 60.0,
+        lease_timeout: Optional[float] = None,
         poll_interval: float = 0.05,
     ) -> None:
         self._memory: Dict[str, Any] = {}
@@ -114,15 +156,50 @@ class RunStore:
         if path is not None:
             self._path = Path(path)
             self._path.mkdir(parents=True, exist_ok=True)
+        if lease_timeout is None:
+            lease_timeout = default_lease_timeout()
         self._lease_timeout = float(lease_timeout)
         self._poll_interval = float(poll_interval)
-        #: Diagnostic counters (memory hits / disk hits / computes).
-        self.hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        #: Times this store waited on another process's in-flight lease
-        #: instead of stampeding into a duplicate computation.
-        self.lease_waits = 0
+        #: Diagnostic counters: cache behavior (hits/disk_hits/misses),
+        #: cross-process coordination (lease_waits/lease_breaks) and
+        #: entry integrity (integrity_failures/quarantined).
+        self.counters = StoreCounters()
+
+    # ------------------------------------------------------------------
+    # Counter attribute shims: counters live in one obs registry, but
+    # the historical flat attributes remain read/write.
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.counters.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.counters.hits = value
+
+    @property
+    def disk_hits(self) -> int:
+        return self.counters.disk_hits
+
+    @disk_hits.setter
+    def disk_hits(self, value: int) -> None:
+        self.counters.disk_hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.counters.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.counters.misses = value
+
+    @property
+    def lease_waits(self) -> int:
+        return self.counters.lease_waits
+
+    @lease_waits.setter
+    def lease_waits(self, value: int) -> None:
+        self.counters.lease_waits = value
 
     # ------------------------------------------------------------------
     @property
@@ -250,6 +327,7 @@ class RunStore:
                     os.unlink(lease)
                 except OSError:
                     return _LEASE_BUSY
+                self.counters.lease_breaks += 1
             except OSError:
                 return None
         return _LEASE_BUSY  # pragma: no cover - loop always returns
@@ -300,22 +378,60 @@ class RunStore:
         if file is None:
             return _MISS
         try:
-            with file.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            data = file.read_bytes()
+        except OSError:
             return _MISS
+        if data.startswith(_ENTRY_MAGIC):
+            # v2 entry: "<magic><64-hex digest>\n<pickled payload>".
+            header_end = len(_ENTRY_MAGIC) + 65
+            digest = data[len(_ENTRY_MAGIC):header_end - 1]
+            payload = data[header_end:]
+            if (
+                len(data) < header_end
+                or data[header_end - 1:header_end] != b"\n"
+                or hashlib.sha256(payload).hexdigest().encode("ascii")
+                != digest
+            ):
+                self._quarantine(file)
+                return _MISS
+        else:
+            # Legacy (pre-integrity) entry: the whole file is pickle.
+            payload = data
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any undecodable entry is corrupt
+            self._quarantine(file)
+            return _MISS
+
+    def _quarantine(self, file: Path) -> None:
+        """Move a corrupt/truncated entry into ``corrupt/`` (count it)
+        so the reader recomputes instead of crashing — and so the bad
+        bytes stick around for a post-mortem instead of being served
+        or silently overwritten."""
+        self.counters.integrity_failures += 1
+        target_dir = self._path / "corrupt"
+        try:
+            target_dir.mkdir(exist_ok=True)
+            os.replace(file, target_dir / file.name)
+            self.counters.quarantined += 1
+        except OSError:
+            # Another reader may have quarantined it first, or the
+            # filesystem refused; either way the lookup stays a miss.
+            pass
 
     def _write_disk(self, key: str, value: Any) -> None:
         if self._path is None:
             return
         final = self._path / f"{key}.pkl"
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest().encode("ascii")
             fd, tmp = tempfile.mkstemp(
                 prefix=f".{key[:12]}-", suffix=".tmp", dir=self._path
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(_ENTRY_MAGIC + digest + b"\n" + payload)
                 os.replace(tmp, final)
             except BaseException:
                 try:

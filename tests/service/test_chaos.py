@@ -1,0 +1,45 @@
+"""Seeded chaos rounds as tier-1 tests.
+
+The harness itself lives in :mod:`tests.service.chaos` (runnable
+standalone for the CI chaos-smoke job); here we pin ten in-process
+seeds and one full SIGKILL/restart recovery round.  Every round
+asserts the two resilience invariants internally — exactly one
+terminal journal record per accepted request, and results
+byte-identical to the fault-free baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.service.chaos import ChaosPlan, run_inprocess, run_sigkill
+
+
+def test_plans_are_deterministic():
+    for seed in range(10):
+        assert ChaosPlan.sample(seed) == ChaosPlan.sample(seed)
+    assert ChaosPlan.sample(0) != ChaosPlan.sample(1)
+
+
+def test_plans_cover_every_fault_kind():
+    """Across the pinned seed range, every chaos dimension fires."""
+    plans = [ChaosPlan.sample(seed) for seed in range(10)]
+    assert any(p.worker_kills for p in plans)
+    assert any(p.corruptions for p in plans)
+    assert any(p.truncations for p in plans)
+    assert any(p.corruptions - p.truncations for p in plans)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_inprocess_chaos_round(seed):
+    summary = run_inprocess(seed)
+    assert summary["settles"] == summary["accepts"]
+    assert summary["jobs"] == 8
+
+
+def test_sigkill_recovery_round():
+    """Boot a real daemon, SIGKILL it mid-backlog, restart, and verify
+    the journal drives complete, byte-identical recovery."""
+    summary = run_sigkill(0)
+    assert summary["settles"] == summary["accepts"]
+    assert summary["verified_byte_identical"] == summary["accepts"]

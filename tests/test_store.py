@@ -1,7 +1,6 @@
 """Tests for the content-addressed run store."""
 
 import os
-import pickle
 import subprocess
 import sys
 import threading
@@ -98,9 +97,66 @@ class TestDiskLayer:
             "recomputed"
         )
         assert store.misses == 1
-        # The recompute repairs the disk entry in place.
-        with (tmp_path / f"{content_key(payload)}.pkl").open("rb") as fh:
-            assert pickle.load(fh) == "recomputed"
+        # The recompute repairs the disk entry in place: a fresh store
+        # reads it back through the integrity-checked format.
+        reader = RunStore(tmp_path)
+        assert reader.get(content_key(payload), default="miss") == (
+            "recomputed"
+        )
+
+    def test_tampered_entry_quarantined(self, tmp_path):
+        """An entry whose payload no longer matches its recorded digest
+        is moved to ``corrupt/`` and reported as a miss."""
+        payload = {"kind": "test"}
+        RunStore(tmp_path).get_or_compute(payload, lambda: "good")
+        entry = tmp_path / f"{content_key(payload)}.pkl"
+        data = bytearray(entry.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload bit, keep the header intact
+        entry.write_bytes(bytes(data))
+        reader = RunStore(tmp_path)
+        assert reader.get(content_key(payload), default="miss") == "miss"
+        assert reader.counters.integrity_failures == 1
+        assert reader.counters.quarantined == 1
+        assert not entry.exists()
+        assert (tmp_path / "corrupt" / entry.name).is_file()
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        """A torn write (file cut mid-payload) fails verification."""
+        payload = {"kind": "test"}
+        RunStore(tmp_path).get_or_compute(
+            payload, lambda: list(range(100))
+        )
+        entry = tmp_path / f"{content_key(payload)}.pkl"
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) - 10])
+        reader = RunStore(tmp_path)
+        assert reader.get_or_compute(
+            payload, lambda: "recomputed"
+        ) == "recomputed"
+        assert reader.counters.integrity_failures == 1
+        assert reader.counters.quarantined == 1
+        assert (tmp_path / "corrupt" / entry.name).is_file()
+
+    def test_legacy_headerless_entry_readable(self, tmp_path):
+        """Entries written before the integrity header (raw pickle)
+        still load, with no integrity failure recorded."""
+        import pickle
+
+        payload = {"kind": "legacy"}
+        entry = tmp_path / f"{content_key(payload)}.pkl"
+        entry.write_bytes(pickle.dumps({"answer": 42}))
+        reader = RunStore(tmp_path)
+        assert reader.get(content_key(payload)) == {"answer": 42}
+        assert reader.counters.integrity_failures == 0
+
+    def test_quarantine_preserves_bad_bytes(self, tmp_path):
+        payload = {"kind": "test"}
+        entry = tmp_path / f"{content_key(payload)}.pkl"
+        entry.write_bytes(b"not a pickle")
+        store = RunStore(tmp_path)
+        assert store.get(content_key(payload), default="miss") == "miss"
+        moved = tmp_path / "corrupt" / entry.name
+        assert moved.read_bytes() == b"not a pickle"
 
     def test_clear_keeps_disk(self, tmp_path):
         store = RunStore(tmp_path)
@@ -174,6 +230,24 @@ class TestInFlightLeases:
         )
         assert store.misses == 1
         assert not lock.exists()
+        assert store.counters.lease_breaks == 1
+
+    def test_lease_timeout_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TIMEOUT", "2.5")
+        assert RunStore(tmp_path)._lease_timeout == 2.5
+
+    def test_explicit_lease_timeout_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TIMEOUT", "2.5")
+        store = RunStore(tmp_path, lease_timeout=7.0)
+        assert store._lease_timeout == 7.0
+
+    @pytest.mark.parametrize("raw", ["banana", "-1", "0", "inf", "nan"])
+    def test_bad_env_lease_timeout_rejected(self, raw, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_LEASE_TIMEOUT", raw)
+        with pytest.raises(ConfigurationError):
+            RunStore()
 
     def test_waiter_takes_over_after_owner_failure(self, tmp_path):
         payload = {"kind": "lease"}
