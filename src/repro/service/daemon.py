@@ -436,16 +436,14 @@ class SimulationService:
 
         if key in self._inflight:
             counters.coalesced_hits += 1
+            # Capture the future before the journal fsync yields: the
+            # computation may finish (and pop its inflight entry)
+            # during the await.
+            future = self._inflight[key]
             journal_id = await self._journal_accept(request, key)
-            outcome, value = await asyncio.shield(self._inflight[key])
-            if outcome != "ok":
-                self._journal_settle(journal_id, FAILED)
-                return ServiceResponse(
-                    500, {"status": "error", "error": value}
-                )
-            self._journal_settle(journal_id, COMPLETED)
-            return self._ok(request, scale, key, value,
-                            cached=False, coalesced=True, elapsed=0.0)
+            return await self._coalesce(
+                request, scale, key, future, journal_id
+            )
 
         rejection = self._backpressure(request)
         if rejection is not None:
@@ -453,9 +451,39 @@ class SimulationService:
             return rejection
 
         journal_id = await self._journal_accept(request, key)
+        # The journal fsync yielded after the inflight check above; a
+        # concurrent submit (or journal replay) may have registered
+        # this key in the meantime — coalesce onto it instead of
+        # computing twice.
+        late = self._inflight.get(key)
+        if late is not None:
+            counters.coalesced_hits += 1
+            return await self._coalesce(
+                request, scale, key, late, journal_id
+            )
         return await self._execute(
             request, scale, key, journal_id=journal_id
         )
+
+    async def _coalesce(
+        self,
+        request: SimRequest,
+        scale: ExperimentScale,
+        key: str,
+        future: "asyncio.Future[Any]",
+        journal_id: Optional[int],
+    ) -> ServiceResponse:
+        """Wait on another request's in-flight computation and settle
+        this request's journal entry from its outcome."""
+        outcome, value = await asyncio.shield(future)
+        if outcome != "ok":
+            self._journal_settle(journal_id, FAILED)
+            return ServiceResponse(
+                500, {"status": "error", "error": value}
+            )
+        self._journal_settle(journal_id, COMPLETED)
+        return self._ok(request, scale, key, value,
+                        cached=False, coalesced=True, elapsed=0.0)
 
     async def _execute(
         self,

@@ -408,32 +408,36 @@ class WorkerSupervisor:
                 raise ServiceError("supervisor is stopped")
             self._active += 1
             try:
-                future = self._loop.run_in_executor(pool, fn, *args)
-                if self.request_timeout is not None:
-                    return await asyncio.wait_for(
-                        future, self.request_timeout
-                    )
-                return await future
-            except asyncio.TimeoutError:
-                self.counters.request_timeouts += 1
-                self._replace(generation)
-                failure = (
-                    f"request exceeded its {self.request_timeout}s "
-                    f"deadline (hung worker replaced)"
-                )
-            except BrokenExecutor as exc:
-                self._replace(generation)
-                failure = f"worker pool broke: {exc or type(exc).__name__}"
-            except RuntimeError as exc:
-                # A shut-down executor refuses submissions; treat it
-                # like a crash (replace and retry), but re-raise
-                # anything that is not a submission failure.
-                if "shutdown" not in str(exc) and "interpreter" not in str(
-                    exc
-                ):
-                    raise
-                self._replace(generation)
-                failure = f"worker pool unusable: {exc}"
+                try:
+                    future = self._loop.run_in_executor(pool, fn, *args)
+                except RuntimeError as exc:
+                    # executor.submit() raises RuntimeError
+                    # synchronously when the pool (or interpreter) has
+                    # shut down; a RuntimeError raised *by the worker*
+                    # surfaces on the await below and propagates
+                    # unretried like any other worker exception.
+                    self._replace(generation)
+                    failure = f"worker pool unusable: {exc}"
+                else:
+                    try:
+                        if self.request_timeout is not None:
+                            return await asyncio.wait_for(
+                                future, self.request_timeout
+                            )
+                        return await future
+                    except asyncio.TimeoutError:
+                        self.counters.request_timeouts += 1
+                        self._replace(generation)
+                        failure = (
+                            f"request exceeded its {self.request_timeout}s "
+                            f"deadline (hung worker replaced)"
+                        )
+                    except BrokenExecutor as exc:
+                        self._replace(generation)
+                        failure = (
+                            f"worker pool broke: "
+                            f"{exc or type(exc).__name__}"
+                        )
             finally:
                 self._active -= 1
             attempts += 1
@@ -454,16 +458,23 @@ class WorkerSupervisor:
         self._generation += 1
         self.counters.worker_replacements += 1
         old, self._pool = self._pool, self._pool_factory(self._workers)
+        # Snapshot the worker processes *before* shutdown():
+        # ProcessPoolExecutor.shutdown() sets _processes to None.
+        # (Internals; absent on thread pools and fine to skip.)
+        procs = list((getattr(old, "_processes", None) or {}).values())
         try:
             old.shutdown(wait=False, cancel_futures=True)
         except Exception:  # noqa: BLE001 - a broken pool may refuse
             pass
         # Best effort: reap hung worker processes so they do not
-        # accumulate (ProcessPoolExecutor internals; absent on thread
-        # pools and fine to skip).
-        for proc in list(getattr(old, "_processes", {}).values() or []):
+        # accumulate.  SIGKILL, not SIGTERM: fork-started workers
+        # inherit the daemon's asyncio signal handler and wakeup fd,
+        # so a SIGTERM is swallowed by the worker and re-surfaces in
+        # the *parent* loop as a phantom shutdown signal (observed:
+        # the daemon drains itself after every pool replacement).
+        for proc in procs:
             try:
-                proc.terminate()
+                proc.kill()
             except Exception:  # noqa: BLE001 - already dead is fine
                 pass
 

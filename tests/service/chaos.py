@@ -344,6 +344,7 @@ def _spawn_daemon(
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
+        start_new_session=True,  # lets _kill_group reap the workers
     )
 
 
@@ -365,6 +366,17 @@ def _submit_in_background(
     for thread in threads:
         thread.start()
     return threads
+
+
+def _kill_group(daemon: subprocess.Popen) -> None:
+    """SIGKILL the daemon *and* its fork-started pool workers.  The
+    daemon is its own session leader (``start_new_session``), so the
+    group kill is atomic: a worker forked a moment before the kill
+    cannot escape, and a SIGKILLed parent could never reap it."""
+    try:
+        os.killpg(daemon.pid, signal.SIGKILL)
+    except (OSError, ProcessLookupError):  # pragma: no cover - gone
+        daemon.kill()
 
 
 def _wait_for(
@@ -404,7 +416,7 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
                 enough_accepts, 60.0, 0.01,
                 f">= {target} journaled accepts",
             )
-            daemon.send_signal(signal.SIGKILL)
+            _kill_group(daemon)
             daemon.wait(timeout=30.0)
             accepts, settles, _torn = BulkJournal.read(journal)
             killed_at = len(accepts)
@@ -413,7 +425,7 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
             }
         finally:
             if daemon.poll() is None:  # pragma: no cover - cleanup
-                daemon.kill()
+                _kill_group(daemon)
                 daemon.wait(timeout=30.0)
 
         # Restart on a fresh port; the journal must drive recovery.
@@ -435,7 +447,7 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
             assert daemon2.wait(timeout=60.0) == 0, "unclean drain"
         finally:
             if daemon2.poll() is None:  # pragma: no cover - cleanup
-                daemon2.kill()
+                _kill_group(daemon2)
                 daemon2.wait(timeout=30.0)
 
         journal_stats = _assert_journal_invariant(journal)

@@ -22,6 +22,7 @@ from repro.service import (
 )
 from repro.service.requests import BULK, INTERACTIVE, SimRequest
 from repro.service.resilience import COMPLETED, DEAD_LETTERED, FAILED
+from repro.store import content_key
 
 from tests.service.conftest import quick_worker, run_async
 
@@ -301,6 +302,79 @@ class TestWorkerSupervisor:
 
         run_async(scenario())
 
+    def test_replace_reaps_processpool_style_workers(self):
+        """ProcessPoolExecutor.shutdown() sets ``_processes`` to None;
+        the reap in ``_replace`` must snapshot the procs *before*
+        shutting down (regression: AttributeError on every replacement
+        with the real process pool)."""
+
+        class FakeProc:
+            def __init__(self):
+                self.killed = False
+
+            def kill(self):
+                self.killed = True
+
+        created = []
+
+        class ProcessPoolStyle(ThreadPoolExecutor):
+            def __init__(self, max_workers):
+                super().__init__(max_workers=max_workers)
+                self._processes = {
+                    i: FakeProc() for i in range(max_workers)
+                }
+                created.extend(self._processes.values())
+
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                self._processes = None  # what the real pool does
+                super().shutdown(wait, cancel_futures=cancel_futures)
+
+        async def scenario():
+            counters = ServiceCounters()
+            supervisor = WorkerSupervisor(
+                ProcessPoolStyle, 2, counters=counters, retry=FAST_RETRY
+            )
+            await supervisor.start()
+            try:
+                worker = CrashNTimes(1)
+                assert await supervisor.run(worker) == "survived"
+            finally:
+                await supervisor.stop()
+            return supervisor, counters
+
+        supervisor, counters = run_async(scenario())
+        assert supervisor.generation == 1
+        assert counters.worker_replacements == 1
+        # The first (replaced) pool's workers were reaped; the
+        # replacement's were merely shut down.
+        assert [proc.killed for proc in created] == (
+            [True, True, False, False]
+        )
+
+    def test_worker_runtime_error_mentioning_shutdown_propagates(self):
+        """A deterministic worker RuntimeError whose message happens
+        to contain 'shutdown' must propagate unretried — only a
+        submission-time RuntimeError (refused by a shut-down pool)
+        counts as an infrastructure failure."""
+
+        def flaky_teardown(*args):
+            raise RuntimeError("simulation shutdown hook failed")
+
+        async def scenario():
+            supervisor, counters = make_supervisor()
+            await supervisor.start()
+            try:
+                with pytest.raises(RuntimeError, match="shutdown hook"):
+                    await supervisor.run(flaky_teardown)
+            finally:
+                await supervisor.stop()
+            return supervisor, counters
+
+        supervisor, counters = run_async(scenario())
+        assert counters.retries == 0
+        assert counters.worker_replacements == 0
+        assert supervisor.generation == 0
+
 
 def make_resilient_service(tmp_path, worker_fn=None, **overrides):
     config = ServiceConfig(
@@ -518,3 +592,84 @@ class TestDrainRacesInflight:
 
         responses = run_async(scenario())
         assert [r.status for r in responses] == [200, 200]
+
+
+class TestCoalescingJournalRaces:
+    """The journal-accept fsync yields between the inflight check and
+    the rest of ``submit`` — these pin the two races that opens."""
+
+    def test_waiter_survives_completion_during_journal_fsync(
+        self, tmp_path
+    ):
+        """The coalesced path must capture the in-flight future before
+        the fsync await: the primary may complete (and pop its entry)
+        during it (regression: KeyError crash + permanently open
+        journal entry)."""
+
+        async def scenario():
+            service = make_resilient_service(tmp_path)
+            await service.start()
+            request = SimRequest(experiment="table2", priority=BULK)
+            scale = request.resolve_scale(service._scale)
+            key = content_key(request.run_payload(scale))
+            future = asyncio.get_running_loop().create_future()
+            service._inflight[key] = future
+            task = asyncio.ensure_future(service.submit(request))
+            await asyncio.sleep(0)  # task is parked on the fsync await
+            # The primary finishes while the waiter's accept fsyncs.
+            service._inflight.pop(key)
+            future.set_result(("ok", "rendered elsewhere"))
+            response = await task
+            await service.stop()
+            return response
+
+        response = run_async(scenario())
+        assert response.status == 200
+        assert response.payload["coalesced"] is True
+        _accepts, settles, _torn = BulkJournal.read(
+            tmp_path / "journal.jsonl"
+        )
+        assert [rec["outcome"] for rec in settles] == [COMPLETED]
+
+    def test_same_tick_submits_compute_once(self, tmp_path):
+        """Two bulk submits for the same key in one event-loop tick
+        both pass the inflight check before either registers; the
+        post-fsync re-check must coalesce the loser instead of
+        computing twice."""
+        calls = []
+
+        def counting_worker(name, scale, store_path, check_invariants):
+            calls.append(name)
+            return quick_worker(name, scale, store_path, check_invariants)
+
+        async def scenario():
+            service = make_resilient_service(
+                tmp_path, worker_fn=counting_worker
+            )
+            await service.start()
+            responses = await asyncio.gather(
+                service.submit(
+                    SimRequest(experiment="table2", priority=BULK)
+                ),
+                service.submit(
+                    SimRequest(experiment="table2", priority=BULK)
+                ),
+            )
+            snapshot = service.metrics_snapshot()
+            await service.stop()
+            return responses, snapshot
+
+        responses, snapshot = run_async(scenario())
+        assert [r.status for r in responses] == [200, 200]
+        assert len(calls) == 1
+        assert snapshot["counters"]["computes"] == 1
+        assert snapshot["counters"]["coalesced_hits"] == 1
+        assert sorted(r.payload["coalesced"] for r in responses) == (
+            [False, True]
+        )
+        _accepts, settles, _torn = BulkJournal.read(
+            tmp_path / "journal.jsonl"
+        )
+        assert [rec["outcome"] for rec in settles] == (
+            [COMPLETED, COMPLETED]
+        )
