@@ -45,6 +45,7 @@ def run_native(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    wake_interval: Optional[float] = None,
     check_invariants: bool = False,
     recorder: Optional[TraceRecorder] = None,
     timers: Optional[PhaseTimers] = None,
@@ -58,7 +59,11 @@ def run_native(
         outages=outages,
         faults=faults,
         retry=retry,
-        config=SimConfig(horizon=horizon, check_invariants=check_invariants),
+        config=SimConfig(
+            horizon=horizon,
+            wake_interval=wake_interval,
+            check_invariants=check_invariants,
+        ),
         recorder=recorder,
         timers=timers,
     )
@@ -74,6 +79,7 @@ def run_with_controller(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    wake_interval: Optional[float] = None,
     check_invariants: bool = False,
     recorder: Optional[TraceRecorder] = None,
     timers: Optional[PhaseTimers] = None,
@@ -88,7 +94,11 @@ def run_with_controller(
         outages=outages,
         faults=faults,
         retry=retry,
-        config=SimConfig(horizon=horizon, check_invariants=check_invariants),
+        config=SimConfig(
+            horizon=horizon,
+            wake_interval=wake_interval,
+            check_invariants=check_invariants,
+        ),
         recorder=recorder,
         timers=timers,
     )
@@ -105,6 +115,7 @@ def run_continual(
     faults: Optional[FaultModel] = None,
     retry: Optional[RetryPolicy] = None,
     horizon: Optional[float] = None,
+    wake_interval: Optional[float] = None,
     check_invariants: bool = False,
     recorder: Optional[TraceRecorder] = None,
     timers: Optional[PhaseTimers] = None,
@@ -129,6 +140,7 @@ def run_continual(
         faults=faults,
         retry=retry,
         horizon=horizon,
+        wake_interval=wake_interval,
         check_invariants=check_invariants,
         recorder=recorder,
         timers=timers,

@@ -48,6 +48,15 @@ class Counters:
     backfill_starts:
         Native jobs started out of priority order (around a blocked,
         higher-priority job) by the scheduler's backfill.
+    pass_skips:
+        Scheduling passes the scheduler proved could start nothing and
+        skipped without evaluating the queue (DESIGN §13).
+    priority_rekeys:
+        Full re-keys of the scheduler's priority order (one per
+        fair-share charge batch that actually changed priorities).
+    release_rebuilds:
+        Rebuilds of the scheduler's predictor-corrected release claim
+        cache (running set or learned ratios changed).
     fault_throttle_passes:
         Scheduling passes during which the interstitial source was
         suppressed by its fault throttle.
@@ -72,6 +81,9 @@ class Counters:
     outages: int = 0
     wakes: int = 0
     backfill_starts: int = 0
+    pass_skips: int = 0
+    priority_rekeys: int = 0
+    release_rebuilds: int = 0
     fault_throttle_passes: int = 0
     invariant_checks: int = 0
     cache_hits: int = 0

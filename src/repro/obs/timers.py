@@ -1,10 +1,12 @@
 """Lightweight wall-clock phase timers for the engine hot path.
 
 :class:`PhaseTimers` accumulates ``time.perf_counter`` spans per named
-phase.  The engine brackets its three hot phases — event dispatch, the
-scheduling pass, and fault application — only when a timer object is
-attached, so the default (``timers=None``) costs one ``is not None``
-test per phase and nothing else.
+phase.  The engine brackets its hot phases — event dispatch, the
+scheduling pass, event-queue pops, and fault application — and hands
+the same timer object to the scheduler, which brackets its incremental
+maintenance work (``priority_maintenance``, ``release_timeline``), only
+when a timer object is attached; the default (``timers=None``) costs
+one ``is not None`` test per phase and nothing else.
 
 Timers are *observability*, never simulation state: they hold host
 wall-clock readings, are excluded from run-store keys, and must not
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -80,16 +82,28 @@ class PhaseTimers:
             mine.total_s += stat.total_s
         return self
 
-    def format(self) -> str:
-        """Fixed-width text table of the accumulated phases."""
-        lines: List[str] = [
-            f"{'phase':<18} {'calls':>10} {'total s':>10} {'mean ms':>10}"
-        ]
+    def format(self, wall_s: Optional[float] = None) -> str:
+        """Fixed-width text table of the accumulated phases.
+
+        With ``wall_s`` (elapsed wall-clock of the profiled work) each
+        phase also shows its share of that wall time; nested phases
+        (``fault_apply`` inside ``event_dispatch``, the scheduler's
+        maintenance phases inside ``scheduling_pass``) count toward
+        both rows, so shares do not sum to 100%.
+        """
+        header = f"{'phase':<20} {'calls':>10} {'total s':>10} {'mean ms':>10}"
+        if wall_s is not None:
+            header += f" {'% wall':>8}"
+        lines: List[str] = [header]
         for phase, stat in self._stats.items():
-            lines.append(
-                f"{phase:<18} {stat.calls:>10d} {stat.total_s:>10.3f} "
+            line = (
+                f"{phase:<20} {stat.calls:>10d} {stat.total_s:>10.3f} "
                 f"{stat.mean_ms:>10.4f}"
             )
+            if wall_s is not None:
+                share = 100.0 * stat.total_s / wall_s if wall_s > 0 else 0.0
+                line += f" {share:>7.1f}%"
+            lines.append(line)
         if not self._stats:
             lines.append("(no phases recorded)")
         return "\n".join(lines)

@@ -27,11 +27,13 @@ from repro.sched.presets import (
     scheduler_for,
 )
 from repro.sched.queue_scheduler import BackfillMode, QueueScheduler
+from repro.sched.reference import ReferenceQueueScheduler
 from repro.sched.timeofday import TimeOfDayPolicy
 
 __all__ = [
     "Scheduler",
     "QueueScheduler",
+    "ReferenceQueueScheduler",
     "BackfillMode",
     "PriorityPolicy",
     "FcfsPolicy",

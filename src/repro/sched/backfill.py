@@ -134,11 +134,16 @@ def select_conservative(
     running jobs' claims are subtracted via ``releases``, so overlap with
     an outage simply shows up as (possibly negative) capacity nothing
     can fit into until the jobs drain.
+
+    A claim whose estimated finish is already past (a job overrunning a
+    predictor-shrunk estimate) contributes no capacity loss to the
+    planning profile, but its CPUs are still physically occupied — so a
+    planned start at ``t`` is additionally gated on the instantaneous
+    free count, and the job simply stays queued until the overdue claim
+    really releases.
     """
-    profile = CapacityProfile(float(available_cpus), start=t)
-    for finish, cpus in releases:
-        if finish > t:
-            profile.reserve(t, finish, cpus, check=False)
+    free_now = float(available_cpus) - sum(c for _f, c in releases)
+    profile = CapacityProfile.from_claims(float(available_cpus), t, releases)
     starts: List[Job] = []
     for job in queue:
         duration = max(estimate(job), _MIN_DURATION)
@@ -148,6 +153,7 @@ def select_conservative(
             # (deep outage); leave the job queued without a reservation.
             continue
         profile.reserve(start, start + duration, job.cpus, check=False)
-        if start == t:
+        if start == t and job.cpus <= free_now:
             starts.append(job)
+            free_now -= job.cpus
     return starts

@@ -16,10 +16,13 @@ controller (Figure 1) compares it against the interstitial job runtime.
 from __future__ import annotations
 
 import abc
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.jobs import Job
 from repro.sim.state import ClusterState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import PhaseTimers
 
 
 class Scheduler(abc.ABC):
@@ -27,9 +30,34 @@ class Scheduler(abc.ABC):
 
     #: Cumulative count of jobs started *out of priority order* (i.e.
     #: backfilled around a blocked, higher-priority job).  Concrete
-    #: schedulers that backfill maintain it; the engine copies the
-    #: final value into ``SimResult.counters.backfill_starts``.
+    #: schedulers that backfill maintain it; the engine reads the final
+    #: value through :attr:`backfill_starts`.
     n_backfill_starts: int = 0
+
+    #: Hot-path maintenance counters (see DESIGN §13).  Incremental
+    #: schedulers maintain them; the class-level zero default means the
+    #: engine can read them off *any* scheduler without duck typing.
+    n_pass_skips: int = 0
+    n_priority_rekeys: int = 0
+    n_release_rebuilds: int = 0
+
+    #: Optional :class:`~repro.obs.PhaseTimers` the engine attaches so
+    #: scheduler-internal phases (priority maintenance, release-timeline
+    #: rebuilds) show up in ``repro profile``.
+    timers: "Optional[PhaseTimers]" = None
+
+    @property
+    def backfill_starts(self) -> int:
+        """Jobs started out of priority order, for
+        ``SimResult.counters.backfill_starts``.  A real property on the
+        base class — custom schedulers that never backfill report the
+        class default of 0 instead of relying on engine ``getattr``
+        fallbacks."""
+        return self.n_backfill_starts
+
+    def attach_timers(self, timers: "Optional[PhaseTimers]") -> None:
+        """Accept the engine's phase timers (no-op to ignore them)."""
+        self.timers = timers
 
     @abc.abstractmethod
     def submit(self, job: Job, t: float) -> None:

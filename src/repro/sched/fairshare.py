@@ -8,6 +8,21 @@ The *dynamic re-prioritization* this produces is exactly the mechanism
 behind the paper's delay cascades (§4.3.2.1): a native job held up by an
 interstitial job can be overtaken by a later-arriving job whose owner's
 decayed usage is lower.
+
+Incremental maintenance
+-----------------------
+
+Because every entity's usage decays at the *same* exponential rate, the
+ratio of any two entities' decayed usages — and therefore every
+``usage_share`` and ``factor`` — is constant between charges: decay
+rescales all usages by a common ``exp(-rate * dt)`` that cancels out of
+the share quotient.  The tracker exploits this with a :attr:`version`
+counter bumped on every charge and a per-entity factor cache keyed by
+it, so a scheduling pass over a long queue costs one dictionary lookup
+per entity instead of a fresh decay/total/share evaluation per queued
+job.  Schedulers watch the policy-level version (see
+:class:`~repro.sched.priority.PriorityPolicy`) to decide whether a
+cached priority ordering is still valid (DESIGN §13).
 """
 
 from __future__ import annotations
@@ -57,13 +72,24 @@ class FairShareTracker:
         self._usage: Dict[str, Tuple[float, float]] = {
             e: (0.0, 0.0) for e in self._shares
         }
+        #: Bumped on every charge.  Factors are time-invariant between
+        #: bumps (uniform decay cancels out of the share quotient), so
+        #: a cached factor — or a whole cached queue ordering — stays
+        #: valid exactly while the version is unchanged.
+        self.version: int = 0
         # Performance caches: schedulers evaluate factors for every
         # queued job at the same instant, so total usage per timestamp
         # and the normalized share table are memoized (profiling showed
         # them dominating continual-run time otherwise).
         self._total_cache: Tuple[float, float] = (math.nan, 0.0)
+        #: Per-entity decayed usage at the memoized timestamp, built as
+        #: a side product of ``total_usage`` so the per-entity queries a
+        #: re-key makes right after it are dictionary lookups.
+        self._usage_at: Dict[str, float] = {}
         self._share_cache: Optional[Dict[str, float]] = None
         self._share_total: float = 0.0
+        #: entity -> (version the value was computed at, factor value).
+        self._factor_cache: Dict[str, Tuple[int, float]] = {}
 
     # ------------------------------------------------------------------
     def entities(self) -> Iterable[str]:
@@ -84,6 +110,7 @@ class FairShareTracker:
         value, since = self._usage.get(entity, (0.0, t))
         self._usage[entity] = (self._decayed(value, since, t) + amount, t)
         self._total_cache = (math.nan, 0.0)
+        self.version += 1
 
     def usage(self, entity: str, t: float) -> float:
         """Decayed usage of ``entity`` at time ``t``."""
@@ -95,7 +122,9 @@ class FairShareTracker:
         timestamp; charges invalidate the memo)."""
         if self._total_cache[0] == t:
             return self._total_cache[1]
-        total = sum(self.usage(e, t) for e in self._usage)
+        usage_at = {e: self.usage(e, t) for e in self._usage}
+        total = sum(usage_at.values())
+        self._usage_at = usage_at
         self._total_cache = (t, total)
         return total
 
@@ -105,7 +134,7 @@ class FairShareTracker:
         total = self.total_usage(t)
         if total <= 0.0:
             return 0.0
-        return self.usage(entity, t) / total
+        return self._usage_at.get(entity, 0.0) / total
 
     def target_share(self, entity: str) -> float:
         """Normalized target share of ``entity`` among known entities.
@@ -133,5 +162,16 @@ class FairShareTracker:
         Positive when the entity is under-served (target share exceeds
         its recent usage share), negative when over-served.  This is the
         quantity priority policies weight into job scores.
+
+        The value is memoized per entity and :attr:`version`: between
+        charges the factor is mathematically constant in ``t`` (uniform
+        decay cancels out of the share quotient), so repeat evaluations
+        — one per queued job per scheduling pass in the naive scheme —
+        collapse to a dictionary lookup.
         """
-        return self.target_share(entity) - self.usage_share(entity, t)
+        hit = self._factor_cache.get(entity)
+        if hit is not None and hit[0] == self.version:
+            return hit[1]
+        value = self.target_share(entity) - self.usage_share(entity, t)
+        self._factor_cache[entity] = (self.version, value)
+        return value

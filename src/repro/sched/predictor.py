@@ -44,11 +44,15 @@ class PerUserRuntimePredictor:
         self.alpha = alpha
         self.floor_ratio = floor_ratio
         self._ratio: Dict[str, float] = {}
+        #: Monotone counter bumped on every learned observation, so
+        #: schedulers can key cached predictor-corrected views on it.
+        self.version: int = 0
 
     def observe(self, job: Job) -> None:
         """Learn from a completed job's actual/estimated ratio."""
         if job.estimate <= 0.0:
             return
+        self.version += 1
         ratio = max(self.floor_ratio, job.runtime / job.estimate)
         previous = self._ratio.get(job.user)
         if previous is None:

@@ -39,6 +39,17 @@ class PriorityPolicy(abc.ABC):
     #: bound while it waits.
     wait_weight: float = 1.0
 
+    #: Monotone counter bumped whenever a completion changes any job's
+    #: fair-share factor (i.e. on every charge).  Between bumps the
+    #: *relative order* of queued jobs is frozen: the wait component
+    #: ``wait_weight * (t - submit) / 86400`` shifts every score by the
+    #: same ``wait_weight * t / 86400``, and decayed-usage shares are
+    #: time-invariant between charges (see
+    #: :mod:`repro.sched.fairshare`).  Schedulers key cached queue
+    #: orderings on this value; policies that charge in ``on_finish``
+    #: MUST bump it there.
+    priority_version: int = 0
+
     @abc.abstractmethod
     def fair_share_factor(self, job: Job, t: float) -> float:
         """Fair-share component of the score, in [-1, 1]."""
@@ -51,6 +62,26 @@ class PriorityPolicy(abc.ABC):
     def sort_key(self, job: Job, t: float) -> ScoreKey:
         """Deterministic descending sort key (use with ``sorted(...)``)."""
         return (-self.score(job, t), job.submit_time, job.job_id)
+
+    def rank_key(self, job: Job, t: float) -> ScoreKey:
+        """Time-shift-invariant equivalent of :meth:`sort_key`.
+
+        Subtracting the common ``wait_weight * t / 86400`` term from
+        every negated score leaves ``wait_weight * submit / 86400 -
+        factor``: the same total order (ties break identically by
+        submit time then job id), but comparable across keys computed
+        at *different* times as long as :attr:`priority_version` has
+        not bumped in between.  This is what lets a scheduler keep its
+        pending queue sorted incrementally — inserting a new submission
+        with ``bisect`` against keys computed passes ago — instead of
+        re-sorting per pass.
+        """
+        return (
+            self.wait_weight * job.submit_time / 86400.0
+            - self.fair_share_factor(job, t),
+            job.submit_time,
+            job.job_id,
+        )
 
     def on_finish(self, job: Job, t: float) -> None:
         """Observe a completion (default: nothing to charge)."""
@@ -91,6 +122,7 @@ class UserFairSharePolicy(PriorityPolicy):
 
     def on_finish(self, job: Job, t: float) -> None:
         self.users.charge(job.user, job.area, t)
+        self.priority_version += 1
 
 
 class HierarchicalFairSharePolicy(PriorityPolicy):
@@ -138,6 +170,7 @@ class HierarchicalFairSharePolicy(PriorityPolicy):
     def on_finish(self, job: Job, t: float) -> None:
         self.groups.charge(job.group, job.area, t)
         self._group_users(job.group).charge(job.user, job.area, t)
+        self.priority_version += 1
 
 
 class UserGroupFairSharePolicy(PriorityPolicy):
@@ -166,3 +199,4 @@ class UserGroupFairSharePolicy(PriorityPolicy):
     def on_finish(self, job: Job, t: float) -> None:
         self.groups.charge(job.group, job.area, t)
         self.users.charge(job.user, job.area, t)
+        self.priority_version += 1

@@ -5,21 +5,55 @@ deserving), a backfill mode (how aggressively to fill holes), an
 optional time-of-day eligibility policy and an optional runtime
 predictor.  Every production scheduler preset in
 :mod:`repro.sched.presets` is an instance of this class.
+
+Incremental maintenance (DESIGN §13)
+------------------------------------
+
+The naive formulation — re-sort the queue by ``sort_key(job, t)`` and
+rebuild the running-job release list on every pass — is what
+:class:`~repro.sched.reference.ReferenceQueueScheduler` retains, and
+what dominated continual-mode profiles.  This class produces the same
+decisions from incrementally maintained structures:
+
+* the pending queue is kept sorted by the time-shift-invariant
+  :meth:`~repro.sched.priority.PriorityPolicy.rank_key` and only
+  re-keyed when :attr:`~repro.sched.priority.PriorityPolicy.priority_version`
+  bumps (a fair-share charge actually changed relative priorities);
+  submissions insert with ``bisect`` and the head job is ``_order[0]``;
+* release claims come from the cluster's sorted timeline (or, with a
+  predictor, from a cache keyed on ``(cluster.epoch, predictor.version)``)
+  instead of a rebuild-and-sort of ``cluster.running``;
+* a pass that provably cannot start anything — same cluster epoch, same
+  priority version, same queue membership, same time-of-day phase as a
+  previous no-start pass, and (conservative backfill only) no estimated
+  release expiring in between — is skipped outright.
+
+The skip lives *inside* ``schedule`` so engine-level records and
+counters (``sched_pass``, ``scheduling_passes``) stay byte-identical to
+the naive scheduler's; the golden-trace suite and
+``tests/sched/test_incremental_differential.py`` enforce exactly that.
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.jobs import Job
 from repro.sched.backfill import select_conservative, select_easy
 from repro.sched.base import Scheduler
 from repro.sched.predictor import PerUserRuntimePredictor
-from repro.sched.priority import PriorityPolicy
+from repro.sched.priority import PriorityPolicy, ScoreKey
 from repro.sched.timeofday import TimeOfDayPolicy
 from repro.sim.state import ClusterState
+
+
+#: One queued job inside a fair-share class bucket:
+#: ``(wait_term, submit_time, job_id, job)``.  ``job_id`` is unique, so
+#: tuple comparison never reaches the (incomparable) job itself.
+ClassEntry = Tuple[float, float, int, Job]
 
 
 class BackfillMode(enum.Enum):
@@ -39,8 +73,9 @@ class QueueScheduler(Scheduler):
     Parameters
     ----------
     policy:
-        Priority policy (fair share flavour); re-evaluated every pass,
-        which yields the dynamic re-prioritization the paper discusses.
+        Priority policy (fair share flavour).  Relative priorities are
+        re-evaluated whenever the policy's version bumps, which yields
+        the dynamic re-prioritization the paper discusses.
     backfill:
         One of :class:`BackfillMode`.
     timeofday:
@@ -64,13 +99,79 @@ class QueueScheduler(Scheduler):
         self.timeofday = timeofday
         self.predictor = predictor
         self.n_backfill_starts = 0
+        self.n_pass_skips = 0
+        self.n_priority_rekeys = 0
+        self.n_release_rebuilds = 0
+        #: Queued jobs in submission order (what ``pending_jobs``
+        #: reports, unchanged from the naive scheduler).
         self._queue: List[Job] = []
+        #: The same jobs as ``(rank_key, job)``, ascending — i.e. the
+        #: descending-priority order every pass needs.  Valid while
+        #: ``_order_version == policy.priority_version``.
+        self._order: List[Tuple[ScoreKey, Job]] = []
+        self._order_version = -1
+        #: Queued jobs bucketed by fair-share class ``(user, group)``,
+        #: each bucket ascending by ``(wait_term, submit, job_id)``
+        #: where ``wait_term = wait_weight * submit / 86400`` is the
+        #: precomputed time-invariant component of ``rank_key``.  All
+        #: jobs of one class share their fair-share factor, and within
+        #: a class the relative order never changes — so a re-key costs
+        #: one factor evaluation per *class* plus a merge of sorted
+        #: runs, not a factor evaluation per queued job.
+        self._classes: Dict[Tuple[str, str], List[ClassEntry]] = {}
+        #: Bumped whenever queue membership changes (submit / start).
+        self._membership_version = 0
+        #: Smallest CPU request over the queue, cached per membership
+        #: version.  Gates whole passes: no backfill mode (nor the
+        #: cluster itself) starts a job wider than the free CPUs.
+        self._min_cpus = 0
+        self._min_cpus_version = -1
+        #: ``[job for _key, job in _order]``, cached per
+        #: (order version, membership version) — the per-pass projection
+        #: every selection needs.
+        self._ordered_jobs: List[Job] = []
+        self._ordered_key: Tuple[int, int] = (-1, -1)
+        #: Time-of-day-eligible projection of ``_ordered_jobs``, cached
+        #: per (ordered key, daytime phase): eligibility only depends on
+        #: job width and the day/night phase, not on the exact instant.
+        self._eligible_jobs: List[Job] = []
+        self._eligible_key: Tuple[Tuple[int, int], bool] = ((-1, -1), False)
+        #: Predictor-corrected release claims, sorted by (finish, cpus),
+        #: cached per ``(cluster.epoch, predictor.version)``.
+        self._claims_cache: List[Tuple[float, float]] = []
+        self._claims_key: Tuple[int, int] = (-1, -1)
+        #: ``_earliest_capacity`` release-walk result, cached per
+        #: ``(cpus, epoch, predictor version)`` — within one epoch the
+        #: walk's outcome is a fixed release time, and only the final
+        #: ``max(t, ...)`` depends on the query instant.  Keeps the
+        #: per-pass ``backfillWallTime`` probe O(1) between allocation
+        #: changes (wake-heavy continual runs probe it constantly).
+        self._capacity_key: Optional[Tuple[int, int, int]] = None
+        self._capacity_at: float = math.inf
+        #: Snapshot of the last pass that started nothing:
+        #: ``(t, cluster epoch, priority version, membership version,
+        #: predictor version, daytime phase)``.  See ``_can_skip``.
+        self._no_start_state: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Scheduler interface
     # ------------------------------------------------------------------
     def submit(self, job: Job, t: float) -> None:
         self._queue.append(job)
+        self._membership_version += 1
+        entry = (
+            self.policy.wait_weight * job.submit_time / 86400.0,
+            job.submit_time,
+            job.job_id,
+            job,
+        )
+        bucket = self._classes.setdefault((job.user, job.group), [])
+        bisect.insort(bucket, entry)
+        if self._order_version == self.policy.priority_version:
+            # Keys are comparable across the passes of one priority
+            # version (rank_key is time-shift invariant), so a single
+            # bisect keeps the order sorted without touching the rest.
+            bisect.insort(self._order, (self.policy.rank_key(job, t), job))
 
     def on_finish(self, job: Job, t: float) -> None:
         self.policy.on_finish(job, t)
@@ -87,9 +188,38 @@ class QueueScheduler(Scheduler):
     def schedule(self, t: float, cluster: ClusterState) -> List[Job]:
         if not self._queue:
             return []
-        ordered = sorted(self._queue, key=lambda j: self.policy.sort_key(j, t))
-        eligible = [j for j in ordered if self._eligible(j, t)]
-        releases = self._releases(cluster)
+        if self._can_skip(t, cluster):
+            self.n_pass_skips += 1
+            return []
+        if self._min_queued_cpus() > cluster.free_cpus:
+            # Capacity gate: every backfill mode starts a job only when
+            # it fits the instantaneous free CPUs, so when even the
+            # narrowest queued job is too wide the pass cannot start
+            # anything — regardless of priority order, which therefore
+            # need not be re-keyed.
+            self.n_pass_skips += 1
+            return []
+        self._ensure_order(t)
+        ordered_key = (self._order_version, self._membership_version)
+        if self._ordered_key != ordered_key:
+            self._ordered_jobs = [job for _key, job in self._order]
+            self._ordered_key = ordered_key
+        ordered = self._ordered_jobs
+        if self.timeofday is None:
+            eligible = ordered
+        elif not self.timeofday.is_daytime(t):
+            # Nighttime (and free weekends): every queued job may start.
+            eligible = ordered
+        else:
+            # Daytime eligibility is a pure width filter, so the
+            # projection is reusable until the order or phase changes.
+            eligible_key = (ordered_key, True)
+            if self._eligible_key != eligible_key:
+                limit = self.timeofday.max_day_cpus
+                self._eligible_jobs = [j for j in ordered if j.cpus <= limit]
+                self._eligible_key = eligible_key
+            eligible = self._eligible_jobs
+        releases = self._release_claims(cluster)
         if self.backfill is BackfillMode.CONSERVATIVE:
             starts = select_conservative(
                 t,
@@ -107,6 +237,9 @@ class QueueScheduler(Scheduler):
                 self._estimate,
                 backfill=self.backfill is BackfillMode.EASY,
             )
+        if not starts:
+            self._no_start_state = self._pass_state(t, cluster)
+            return starts
         started_ids = {job.job_id for job in starts}
         # A start is a *backfill* start when some higher-priority
         # eligible job stayed queued — the job jumped a blocked
@@ -119,12 +252,21 @@ class QueueScheduler(Scheduler):
             else:
                 in_priority_prefix = False
         self._queue = [j for j in self._queue if j.job_id not in started_ids]
+        self._order = [
+            entry for entry in self._order
+            if entry[1].job_id not in started_ids
+        ]
+        for job in starts:
+            self._remove_from_class(job)
+        self._membership_version += 1
+        self._no_start_state = None
         return starts
 
     def head_job(self, t: float):
         if not self._queue:
             return None
-        return min(self._queue, key=lambda j: self.policy.sort_key(j, t))
+        self._ensure_order(t)
+        return self._order[0][1]
 
     def head_start_estimate(self, t: float, cluster: ClusterState) -> float:
         """The paper's ``backfillWallTime``: expected earliest start of
@@ -140,7 +282,152 @@ class QueueScheduler(Scheduler):
         return start
 
     # ------------------------------------------------------------------
-    # Internals
+    # Incremental maintenance internals
+    # ------------------------------------------------------------------
+    def _min_queued_cpus(self) -> int:
+        """Narrowest queued CPU request, cached per membership version
+        (the queue only changes through ``submit`` and starts, both of
+        which bump it)."""
+        if self._min_cpus_version != self._membership_version:
+            self._min_cpus = min(job.cpus for job in self._queue)
+            self._min_cpus_version = self._membership_version
+        return self._min_cpus
+
+    def _ensure_order(self, t: float) -> None:
+        """(Re)key the priority order if charges invalidated it.
+
+        Costs one ``fair_share_factor`` per *class* — not per job —
+        because every job of a class shares its factor, and ``wt - f``
+        (with ``wt`` the wait term precomputed at submit) is float-for-
+        float the expression :meth:`~PriorityPolicy.rank_key` evaluates.
+        Each class bucket is already a sorted run of the final order,
+        so the concatenation sorts in O(n log(classes)) merge passes.
+        """
+        version = self.policy.priority_version
+        if self._order_version == version:
+            return
+        timers = self.timers
+        if timers is not None:
+            timers.start("priority_maintenance")
+        factor_of = self.policy.fair_share_factor
+        entries: List[Tuple[ScoreKey, Job]] = []
+        extend = entries.extend
+        for bucket in self._classes.values():
+            f = factor_of(bucket[0][3], t)
+            extend(((wt - f, s, jid), job) for wt, s, jid, job in bucket)
+        # Keys embed (submit_time, job_id), so they are unique and jobs
+        # themselves are never compared.
+        entries.sort()
+        self._order = entries
+        self._order_version = version
+        self.n_priority_rekeys += 1
+        if timers is not None:
+            timers.stop("priority_maintenance")
+
+    def _remove_from_class(self, job: Job) -> None:
+        """Drop a started job from its class bucket."""
+        key = (job.user, job.group)
+        bucket = self._classes[key]
+        if len(bucket) == 1:
+            del self._classes[key]
+            return
+        probe = (
+            self.policy.wait_weight * job.submit_time / 86400.0,
+            job.submit_time,
+            job.job_id,
+        )
+        # The 3-tuple probe sorts immediately before its 4-tuple entry.
+        idx = bisect.bisect_left(bucket, probe)
+        while bucket[idx][2] != job.job_id:  # pragma: no cover - guard
+            idx += 1
+        del bucket[idx]
+
+    def _release_claims(
+        self, cluster: ClusterState
+    ) -> List[Tuple[float, float]]:
+        """(estimated finish, cpus) claims of running jobs, ascending.
+
+        Without a predictor this is the cluster's own sorted timeline.
+        With one, corrected claims are rebuilt only when the running set
+        or the predictor's learned ratios changed; the stable sort from
+        start order reproduces the naive scheduler's tie-breaking
+        exactly.
+        """
+        if self.predictor is None:
+            return cluster.release_claims()
+        key = (cluster.epoch, self.predictor.version)
+        if self._claims_key != key:
+            timers = self.timers
+            if timers is not None:
+                timers.start("release_timeline")
+            estimate = self.predictor.estimate
+            claims = [
+                (rec.start_time + estimate(rec.job), float(rec.cpus))
+                for rec in cluster.running.values()
+            ]
+            claims.sort()
+            self._claims_cache = claims
+            self._claims_key = key
+            self.n_release_rebuilds += 1
+            if timers is not None:
+                timers.stop("release_timeline")
+        return self._claims_cache
+
+    def _pass_state(self, t: float, cluster: ClusterState) -> tuple:
+        return (
+            t,
+            cluster.epoch,
+            self.policy.priority_version,
+            self._membership_version,
+            -1 if self.predictor is None else self.predictor.version,
+            False if self.timeofday is None else self.timeofday.is_daytime(t),
+        )
+
+    def _can_skip(self, t: float, cluster: ClusterState) -> bool:
+        """Whether this pass provably starts nothing.
+
+        Sound because, relative to the remembered no-start pass at
+        ``t_prev``: free/available CPUs and the claim set are unchanged
+        (same epoch, same predictor version), the queue and its relative
+        order are unchanged (same membership and priority versions), and
+        eligibility is unchanged (same time-of-day phase).  Under EASY /
+        NONE selection the only time-dependent term, the shadow-fit
+        window ``t + estimate <= shadow``, shrinks as ``t`` grows — it
+        can lose starts, never gain them.  Under CONSERVATIVE the
+        reservation profile is additionally unchanged only while no
+        claim expires, hence the release check over ``(t_prev, t]``.
+        """
+        state = self._no_start_state
+        if state is None:
+            return False
+        t_prev, epoch, pversion, mversion, predversion, was_day = state
+        if (
+            epoch != cluster.epoch
+            or pversion != self.policy.priority_version
+            or mversion != self._membership_version
+        ):
+            return False
+        if self.predictor is not None and predversion != self.predictor.version:
+            return False
+        if (
+            self.timeofday is not None
+            and self.timeofday.is_daytime(t) != was_day
+        ):
+            return False
+        if self.backfill is BackfillMode.CONSERVATIVE:
+            claims = self._release_claims(cluster)
+            idx = bisect.bisect_right(claims, (t_prev, math.inf))
+            if idx < len(claims) and claims[idx][0] <= t:
+                return False
+        # Advance the snapshot so the conservative expiry window stays
+        # anchored to the most recent (equivalent) pass.
+        self._no_start_state = (
+            t, epoch, pversion, mversion, predversion, was_day
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Shared internals
     # ------------------------------------------------------------------
     def _eligible(self, job: Job, t: float) -> bool:
         return self.timeofday is None or self.timeofday.eligible(job, t)
@@ -150,20 +437,24 @@ class QueueScheduler(Scheduler):
             return self.predictor.estimate(job)
         return job.estimate
 
-    def _releases(self, cluster: ClusterState) -> List[Tuple[float, float]]:
-        return [
-            (rec.start_time + self._estimate(rec.job), float(rec.cpus))
-            for rec in cluster.running.values()
-        ]
-
     def _earliest_capacity(
         self, cpus: int, t: float, cluster: ClusterState
     ) -> float:
         if cluster.fits_now(cpus):
             return t
-        free = float(cluster.free_cpus)
-        for finish, released in sorted(self._releases(cluster)):
-            free += released
-            if free >= cpus:
-                return max(t, finish)
-        return math.inf
+        key = (
+            cpus,
+            cluster.epoch,
+            -1 if self.predictor is None else self.predictor.version,
+        )
+        if self._capacity_key != key:
+            free = float(cluster.free_cpus)
+            capacity_at = math.inf
+            for finish, released in self._release_claims(cluster):
+                free += released
+                if free >= cpus:
+                    capacity_at = finish
+                    break
+            self._capacity_at = capacity_at
+            self._capacity_key = key
+        return max(t, self._capacity_at)

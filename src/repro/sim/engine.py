@@ -24,7 +24,7 @@ from repro.faults import FaultModel, RetryPolicy
 from repro.jobs import Job, JobState
 from repro.machines import Machine
 from repro.obs import NULL_RECORDER, Counters, PhaseTimers, TraceRecord, TraceRecorder
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import CalendarEventQueue, EventKind, EventQueue
 from repro.sim.outages import OutageSchedule
 from repro.sim.results import SimResult
 from repro.sim.state import ClusterState
@@ -61,17 +61,29 @@ class SimConfig:
         flag explicitly (the CLI threads it through
         :class:`~repro.experiments.context.RunContext`), keeping the
         engine free of global state.
+    event_queue:
+        Pending-event structure: ``"heap"`` (binary heap, the default)
+        or ``"calendar"`` (bucketed calendar queue).  Both implement the
+        identical ``(time, kind, seq)`` total order, so results are
+        byte-identical either way; ``benchmarks/bench_engine.py``
+        compares their throughput.
     """
 
     horizon: Optional[float] = None
     wake_interval: Optional[float] = None
     until: Optional[float] = None
     check_invariants: bool = False
+    event_queue: str = "heap"
 
     def __post_init__(self) -> None:
         if self.wake_interval is not None and self.wake_interval <= 0:
             raise ConfigurationError(
                 f"wake_interval must be positive, got {self.wake_interval}"
+            )
+        if self.event_queue not in ("heap", "calendar"):
+            raise ConfigurationError(
+                f"event_queue must be 'heap' or 'calendar', "
+                f"got {self.event_queue!r}"
             )
 
     @property
@@ -146,9 +158,15 @@ class Engine:
         #: are constructed at all.
         self._rec = self.recorder.enabled
         self.timers = timers
+        if timers is not None:
+            self.scheduler.attach_timers(timers)
         self.counters = Counters()
         self.cluster = ClusterState(machine)
-        self.events = EventQueue()
+        self.events = (
+            CalendarEventQueue()
+            if self.config.event_queue == "calendar"
+            else EventQueue()
+        )
         self._finished: List[Job] = []
         self._killed: List[Job] = []
         self._dead_lettered: List[Job] = []
@@ -259,7 +277,11 @@ class Engine:
             if self.config.until is not None and next_time > self.config.until:
                 t = self.config.until
                 break
+            if timers is not None:
+                timers.start("event_queue_ops")
             batch = self.events.pop_batch()
+            if timers is not None:
+                timers.stop("event_queue_ops")
             if batch[0].time < t:
                 raise SimulationError(
                     f"time went backwards: {batch[0].time} < {t}"
@@ -346,7 +368,7 @@ class Engine:
             if self._rec:
                 self._record(t, "finish", job)
         elif event.kind is EventKind.OUTAGE:
-            self.cluster.down_cpus += int(event.payload)
+            self.cluster.apply_outage(int(event.payload))
             if self.cluster.down_cpus < 0:
                 raise SimulationError("negative down CPU count")
             self.counters.outages += 1
@@ -359,7 +381,7 @@ class Engine:
             if self.timers is not None:
                 self.timers.stop("fault_apply")
         elif event.kind is EventKind.REPAIR:
-            self.cluster.failed_cpus -= int(event.payload)
+            self.cluster.apply_failed(-int(event.payload))
             if self.cluster.failed_cpus < 0:
                 raise SimulationError("negative failed CPU count")
             self.counters.repairs += 1
@@ -402,7 +424,7 @@ class Engine:
         took down.
         """
         in_service = self.cluster.available_cpus
-        self.cluster.failed_cpus += cpus
+        self.cluster.apply_failed(cpus)
         self._n_failures += 1
         self.counters.failures += 1
         if self._rec:
@@ -419,15 +441,19 @@ class Engine:
                 self._victim_rng.hypergeometric(busy_eff, idle_eff, sample)
             )
         interstitial_victims: List[Job] = []
-        while hits > 0 and self.cluster.running:
-            recs = sorted(
-                self.cluster.running.values(), key=lambda r: r.job.job_id
-            )
+        # Sort the candidate pool once per FAILURE event; deleting each
+        # victim in place preserves the job-id ordering, so the seeded
+        # draw sequence is exactly what per-iteration re-sorting gave.
+        recs = sorted(
+            self.cluster.running.values(), key=lambda r: r.job.job_id
+        )
+        while hits > 0 and recs:
             widths = np.array([rec.job.cpus for rec in recs], dtype=float)
             index = int(
                 self._victim_rng.choice(len(recs), p=widths / widths.sum())
             )
             victim = recs[index].job
+            del recs[index]
             hits -= min(hits, victim.cpus)
             self.cluster.finish(victim)
             self._expected_finish.pop(victim.job_id, None)
@@ -573,9 +599,10 @@ class Engine:
         unfinished.extend(
             job for job in self._trace if job.state is JobState.CREATED
         )
-        self.counters.backfill_starts = getattr(
-            self.scheduler, "n_backfill_starts", 0
-        )
+        self.counters.backfill_starts = self.scheduler.backfill_starts
+        self.counters.pass_skips = self.scheduler.n_pass_skips
+        self.counters.priority_rekeys = self.scheduler.n_priority_rekeys
+        self.counters.release_rebuilds = self.scheduler.n_release_rebuilds
         return SimResult(
             machine=self.machine,
             finished=self._finished,

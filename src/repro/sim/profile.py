@@ -184,6 +184,42 @@ class CapacityProfile:
         self._times: List[float] = [float(start)]
         self._caps: List[float] = [float(capacity)]
 
+    @classmethod
+    def from_claims(
+        cls,
+        capacity: float,
+        start: float,
+        claims: Iterable[Tuple[float, float]],
+    ) -> "CapacityProfile":
+        """Profile of ``capacity`` minus running jobs' active claims.
+
+        ``claims`` is (estimated finish, cpus) per running job; each
+        claim with ``finish > start`` occupies ``[start, finish)``.
+        Equivalent to ``reserve(start, finish, cpus, check=False)`` per
+        claim but built in one linear sweep instead of R quadratic
+        inserts: capacity/claim widths are integer-valued, so float
+        addition is exact and the summation order cannot change any
+        segment value.
+        """
+        active = sorted(
+            (float(f), float(c)) for f, c in claims if f > start
+        )
+        profile = cls(capacity, start=start)
+        if not active:
+            return profile
+        times = profile._times
+        caps = profile._caps
+        current = float(capacity) - sum(c for _f, c in active)
+        caps[0] = current
+        for finish, cpus in active:
+            current += cpus
+            if finish == times[-1]:
+                caps[-1] = current
+            else:
+                times.append(finish)
+                caps.append(current)
+        return profile
+
     # ------------------------------------------------------------------
     @property
     def breakpoints(self) -> Tuple[float, ...]:
@@ -264,22 +300,43 @@ class CapacityProfile:
     ) -> float:
         """Earliest ``t >= t_from`` with ``min_over(t, t+duration) >= cpus``.
 
-        Candidate start times are ``t_from`` and every later breakpoint
+        Candidate start times are ``t_from`` and later breakpoints
         (capacity only changes at breakpoints, so these are the only
-        times the answer can change).  Because the profile is constant
-        after its last breakpoint, a fit always exists provided the final
-        capacity is at least ``cpus``; otherwise :data:`INFINITY` is
-        returned.
+        times the answer can change).  Rather than re-scanning the
+        window at every candidate — O(k^2) over k segments — the scan
+        jumps straight past each *blocking* segment: a segment below
+        ``cpus`` keeps intersecting the window of every candidate
+        before its end, so no skipped candidate can fit.  Because the
+        profile is constant after its last breakpoint, a fit always
+        exists provided the final capacity is at least ``cpus``;
+        otherwise :data:`INFINITY` is returned.
         """
         if duration < 0:
             raise ValidationError(f"duration must be >= 0, got {duration}")
         if cpus <= 0:
             return t_from
-        candidates = [t_from] + [t for t in self._times if t > t_from]
-        for c in candidates:
-            if self.min_over(c, c + duration) >= cpus:
-                return c
-        return INFINITY
+        times = self._times
+        caps = self._caps
+        n = len(times)
+        candidate = t_from
+        i = max(0, bisect.bisect_right(times, candidate) - 1)
+        while True:
+            end = candidate + duration
+            blocked = -1
+            j = i
+            while j < n:
+                if caps[j] < cpus:
+                    blocked = j
+                    break
+                if j + 1 >= n or times[j + 1] >= end:
+                    break
+                j += 1
+            if blocked < 0:
+                return candidate
+            if blocked + 1 >= n:
+                return INFINITY
+            candidate = times[blocked + 1]
+            i = blocked + 1
 
     def as_step_function(self) -> StepFunction:
         """Snapshot the profile as an immutable :class:`StepFunction`."""

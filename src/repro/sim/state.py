@@ -8,8 +8,10 @@ the engine's event queue.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import CapacityError, SchedulingError, SimulationError
 from repro.jobs import Job, JobState
@@ -47,6 +49,25 @@ class ClusterState:
         #: CPUs removed from service by node crashes (see repro.faults);
         #: the jobs running on them were killed.
         self.failed_cpus: int = 0
+        #: Monotone counter bumped on every allocation change — start,
+        #: finish/kill, outage and failure/repair transitions.  While it
+        #: is unchanged, nothing a scheduler derives from this state
+        #: (free CPUs, release claims) can have changed; schedulers key
+        #: cached views and pass-skip decisions on it (DESIGN §13).
+        self.epoch: int = 0
+        #: Release timeline: ``(estimated finish, cpus, start seq)`` of
+        #: every running job, kept sorted incrementally on start/finish
+        #: instead of being rebuilt and re-sorted every scheduling pass.
+        #: The ``start seq`` tie-break reproduces dict insertion order
+        #: (= chronological start order), which is what a stable sort of
+        #: ``running.values()`` by ``(finish, cpus)`` used to yield.
+        self._release_keys: List[Tuple[float, float, int]] = []
+        self._release_key_of: Dict[int, Tuple[float, float, int]] = {}
+        self._start_seq = itertools.count()
+        #: ``release_claims()`` view, cached per epoch (multiple readers
+        #: per scheduling pass; none of them mutates the list).
+        self._claims_view: List[Tuple[float, float]] = []
+        self._claims_epoch: int = -1
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +121,10 @@ class ClusterState:
         record = RunningJob(job=job, start_time=t)
         self.running[job.job_id] = record
         self.busy_cpus += job.cpus
+        key = (record.estimated_finish, float(job.cpus), next(self._start_seq))
+        bisect.insort(self._release_keys, key)
+        self._release_key_of[job.job_id] = key
+        self.epoch += 1
         return record
 
     def finish(self, job: Job) -> RunningJob:
@@ -113,7 +138,20 @@ class ClusterState:
         self.busy_cpus -= job.cpus
         if self.busy_cpus < 0:
             raise SchedulingError("negative busy CPU count")
+        key = self._release_key_of.pop(job.job_id)
+        del self._release_keys[bisect.bisect_left(self._release_keys, key)]
+        self.epoch += 1
         return record
+
+    def apply_outage(self, delta: int) -> None:
+        """Apply a drain-outage transition (``delta`` CPUs down/up)."""
+        self.down_cpus += delta
+        self.epoch += 1
+
+    def apply_failed(self, delta: int) -> None:
+        """Apply a node-failure/repair transition to the failed count."""
+        self.failed_cpus += delta
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     def estimated_releases(self) -> List[RunningJob]:
@@ -127,6 +165,29 @@ class ClusterState:
             self.running.values(), key=lambda r: (r.estimated_finish, r.job.job_id)
         )
 
+    def release_claims(self) -> List[Tuple[float, float]]:
+        """``(estimated finish, cpus)`` of every running job, ascending
+        by finish time.
+
+        Backed by the incrementally maintained timeline and cached per
+        :attr:`epoch`, so repeat reads within one scheduling pass are a
+        single attribute load, not a rebuild-and-sort of ``running``.
+        Callers must treat the returned list as read-only.
+        """
+        if self._claims_epoch != self.epoch:
+            self._claims_view = [
+                (finish, cpus) for finish, cpus, _seq in self._release_keys
+            ]
+            self._claims_epoch = self.epoch
+        return self._claims_view
+
+    def next_release_after(self, t: float) -> float:
+        """Earliest estimated release time strictly after ``t``
+        (``math.inf`` when none)."""
+        keys = self._release_keys
+        idx = bisect.bisect_right(keys, (t, float("inf"), -1))
+        return keys[idx][0] if idx < len(keys) else float("inf")
+
     def earliest_fit_estimate(self, cpus: int, t: float) -> float:
         """Earliest time (>= t) at which ``cpus`` CPUs are expected to be
         free, based on running jobs' *estimated* completions.
@@ -139,10 +200,10 @@ class ClusterState:
         if self.fits_now(cpus):
             return t
         free = self.free_cpus
-        for record in self.estimated_releases():
-            free += record.cpus
+        for finish, released, _seq in self._release_keys:
+            free += released
             if free >= cpus:
-                return max(t, record.estimated_finish)
+                return max(t, finish)
         return float("inf")
 
     # ------------------------------------------------------------------
@@ -184,6 +245,14 @@ class ClusterState:
         if self.free_cpus != expected_free:
             problems.append(
                 f"free_cpus={self.free_cpus} != expected {expected_free}"
+            )
+        if len(self._release_keys) != len(self.running) or any(
+            a > b
+            for a, b in zip(self._release_keys, self._release_keys[1:])
+        ):
+            problems.append(
+                f"release timeline out of sync: {len(self._release_keys)} "
+                f"entries for {len(self.running)} running jobs"
             )
         not_running = [
             rec.job.job_id

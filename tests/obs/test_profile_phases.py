@@ -1,0 +1,117 @@
+"""Phase-timer reconciliation: the profile's phases must add up.
+
+The engine brackets event-queue pops, event dispatch and the scheduling
+pass; the scheduler brackets its incremental maintenance
+(``priority_maintenance``, ``release_timeline``) *inside* the pass, and
+fault application nests inside dispatch.  These tests pin the phase
+inventory and check the arithmetic: children never exceed their parent,
+and the disjoint top-level phases never exceed the measured wall time.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.runners import run_continual, run_native
+from repro.faults import FaultModel
+from repro.jobs import InterstitialProject
+from repro.machines import Machine
+from repro.obs import PhaseTimers
+from repro.sched import PerUserRuntimePredictor, pbs_scheduler
+from tests.conftest import random_native_trace
+
+SEED = 20030915
+
+#: Engine-level phases; disjoint spans of the run loop.
+TOP_LEVEL = ("event_queue_ops", "event_dispatch", "scheduling_pass")
+#: (child, parent) nesting pairs.
+NESTED = (
+    ("fault_apply", "event_dispatch"),
+    ("priority_maintenance", "scheduling_pass"),
+    ("release_timeline", "scheduling_pass"),
+)
+
+#: perf_counter jitter allowance per accumulated span pair.
+EPS = 5e-3
+
+
+def _timed_run() -> "tuple[PhaseTimers, float]":
+    machine = Machine(name="PhaseBox", cpus=64, clock_ghz=1.0,
+                      queue_algorithm="PBS")
+    trace = random_native_trace(
+        np.random.default_rng(SEED), machine, n_jobs=60
+    )
+    project = InterstitialProject(
+        n_jobs=1, cpus_per_job=4, runtime_1ghz=600.0
+    )
+    faults = FaultModel(mtbf=8.0e4, mttr=1800.0, cpus_per_node=4, seed=SEED)
+    # The predictor makes the scheduler maintain its corrected release
+    # cache, so the release_timeline phase is exercised too.
+    scheduler = pbs_scheduler(predictor=PerUserRuntimePredictor())
+    timers = PhaseTimers()
+    wall_t0 = perf_counter()
+    run_continual(
+        machine, trace, project,
+        scheduler=scheduler, faults=faults, timers=timers,
+    )
+    wall_s = perf_counter() - wall_t0
+    return timers, wall_s
+
+
+def test_all_phases_recorded() -> None:
+    timers, _ = _timed_run()
+    stats = timers.stats()
+    for phase in TOP_LEVEL:
+        assert phase in stats, phase
+        assert stats[phase].calls > 0
+        assert stats[phase].total_s >= 0.0
+    # PBS fair share charges on every finish and the predictor learns
+    # from it while faults churn the running set, so both maintenance
+    # phases and the fault path must have fired.
+    for child, _parent in NESTED:
+        assert child in stats, child
+        assert stats[child].calls > 0
+
+
+def test_nested_phases_within_parents() -> None:
+    timers, _ = _timed_run()
+    stats = timers.stats()
+    fault = stats["fault_apply"].total_s
+    assert fault <= stats["event_dispatch"].total_s + EPS
+    maintenance = (
+        stats["priority_maintenance"].total_s
+        + stats["release_timeline"].total_s
+    )
+    assert maintenance <= stats["scheduling_pass"].total_s + EPS
+
+
+def test_top_level_phases_reconcile_with_wall_time() -> None:
+    timers, wall_s = _timed_run()
+    stats = timers.stats()
+    top = sum(stats[phase].total_s for phase in TOP_LEVEL)
+    assert top <= wall_s + EPS
+    # The hot loop is essentially nothing *but* these phases; they
+    # should account for most of the elapsed time, not a sliver.
+    assert top >= 0.2 * wall_s
+
+
+def test_format_reports_wall_share() -> None:
+    timers, wall_s = _timed_run()
+    table = timers.format(wall_s=wall_s)
+    assert "% wall" in table
+    for phase in TOP_LEVEL:
+        assert phase in table
+
+
+def test_native_run_without_faults_skips_fault_phase(small_machine) -> None:
+    trace = random_native_trace(
+        np.random.default_rng(SEED), small_machine, n_jobs=20
+    )
+    timers = PhaseTimers()
+    run_native(small_machine, trace, timers=timers)
+    stats = timers.stats()
+    assert "fault_apply" not in stats
+    for phase in TOP_LEVEL:
+        assert phase in stats

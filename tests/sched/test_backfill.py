@@ -169,3 +169,18 @@ def test_property_selected_sets_fit(data):
         0.0, queue, free + busy, releases, est
     )
     assert sum(j.cpus for j in conservative) <= free
+
+
+def test_conservative_does_not_start_into_overdue_claims():
+    """A running job past its estimated finish (predictor underestimate)
+    still occupies its CPUs: the planning profile sees free capacity at
+    ``t``, but the start must be gated on the instantaneous free count."""
+    job = make_job(cpus=8, runtime=50.0)
+    # The machine's 8 CPUs are held by a job whose estimated finish
+    # (90.0) already passed; nothing is physically free at t=100.
+    starts = select_conservative(100.0, [job], 8, [(90.0, 8.0)], est)
+    assert starts == []
+    # Once the claim is live again (finish in the future), the queued
+    # job is planned behind it, not started.
+    starts = select_conservative(100.0, [job], 8, [(150.0, 8.0)], est)
+    assert starts == []
