@@ -21,12 +21,20 @@ degrades interactive latency under any policy), conflating scheduling
 with contention the daemon cannot control.  Per-request simulation
 cost has its own benches.
 
+A fourth phase measures the HTTP transport itself: the same run of
+cache-hit requests driven over a real socket front end with one
+connection per call (the pre-keep-alive client) versus one persistent
+keep-alive connection.  Request cost there is ~zero (cached), so the
+two numbers isolate pure connection overhead — the handshake tax
+keep-alive removes from every fleet peer RPC and client call.
+
 Results land in ``BENCH_service.json`` to seed the perf trajectory.
 Run directly (``python benchmarks/bench_service.py``) or via pytest.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -34,7 +42,14 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.experiments.config import SCALES
-from repro.service import InProcessClient, ServiceConfig, percentile
+from repro.service import (
+    HttpFrontend,
+    InProcessClient,
+    ServiceClient,
+    ServiceConfig,
+    SimulationService,
+    percentile,
+)
 
 #: Interactive requests timed per phase / bulk requests flooded per
 #: mixed phase.
@@ -119,11 +134,78 @@ def _run_phase(bulk_cap: float, *, bulk: bool) -> dict:
         return _measure_phase(client, bulk=bulk)
 
 
+#: Cache-hit HTTP requests timed per connection mode.
+N_HTTP = 200
+
+
+def _instant_job(name, scale, store_path, check_invariants):
+    return f"instant {name} seed={scale.seed}"
+
+
+def _measure_http_keep_alive() -> dict:
+    """Connection overhead: N cache-hit requests over fresh
+    connections vs one persistent connection."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    def call(coro):
+        return asyncio.run_coroutine_threadsafe(coro, loop).result(
+            timeout=60.0
+        )
+
+    service = SimulationService(
+        ServiceConfig(workers=WORKERS, scale=SCALES["quick"]),
+        pool_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        worker_fn=_instant_job,
+    )
+    call(service.start())
+    frontend = HttpFrontend(service, port=0)
+    call(frontend.start())
+    try:
+        # Warm the cache once so every timed request is a pure
+        # transport round trip.
+        ServiceClient(port=frontend.port).run("table1", seed=1)
+        modes = {}
+        for mode, keep_alive in (
+            ("close_per_call", False),
+            ("keep_alive", True),
+        ):
+            client = ServiceClient(
+                port=frontend.port, keep_alive=keep_alive
+            )
+            start = time.perf_counter()
+            for _ in range(N_HTTP):
+                reply = client.run("table1", seed=1)
+                assert reply.ok and reply.cached
+            elapsed = time.perf_counter() - start
+            client.close()
+            modes[mode] = {
+                "requests": N_HTTP,
+                "elapsed_s": round(elapsed, 4),
+                "rps": round(N_HTTP / elapsed, 1),
+                "mean_us": round(1e6 * elapsed / N_HTTP, 1),
+            }
+        modes["speedup"] = round(
+            modes["keep_alive"]["rps"]
+            / modes["close_per_call"]["rps"],
+            2,
+        )
+        return modes
+    finally:
+        call(frontend.stop())
+        call(service.stop())
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        loop.close()
+
+
 def run_bench(output: Path) -> dict:
     phases = {
         "baseline": _run_phase(CAPPED, bulk=False),
         "capped": _run_phase(CAPPED, bulk=True),
         "uncapped": _run_phase(1.0, bulk=True),
+        "http_keep_alive": _measure_http_keep_alive(),
     }
     result = {
         "bench": "service",
@@ -144,6 +226,8 @@ def run_bench(output: Path) -> dict:
     )
     print(header)
     for name, row in phases.items():
+        if name == "http_keep_alive":
+            continue
         print(
             f"{name:<10} {row['interactive_p50_s']:>9.3f} "
             f"{row['interactive_p99_s']:>9.3f} "
@@ -151,6 +235,12 @@ def run_bench(output: Path) -> dict:
             f"{row['throughput_rps']:>7.2f} "
             f"{row['bulk_completed']:>9d}"
         )
+    ka = phases["http_keep_alive"]
+    print(
+        f"http       close/call {ka['close_per_call']['rps']:>8.1f} "
+        f"req/s | keep-alive {ka['keep_alive']['rps']:>8.1f} req/s "
+        f"({ka['speedup']:.2f}x)"
+    )
 
     baseline_p99 = phases["baseline"]["interactive_p99_s"]
     capped = phases["capped"]
@@ -165,6 +255,12 @@ def run_bench(output: Path) -> dict:
     assert uncapped["interactive_p99_s"] > (
         MAX_P99_REGRESSION * baseline_p99
     ), "disabling the cap should visibly degrade interactive latency"
+    # Keep-alive must never make the transport slower; the usual win
+    # on loopback is well above 1x (a connect round trip per call).
+    assert phases["http_keep_alive"]["speedup"] > 0.9, (
+        "persistent connections slower than per-call connections: "
+        f"{phases['http_keep_alive']}"
+    )
     return result
 
 

@@ -10,13 +10,17 @@
   serially with the engine's phase timers attached and print hot-phase
   wall-clock, aggregated event counters, and store behavior;
 * ``repro serve [--host --port --workers N --bulk-cap C --journal F
-  --request-timeout S]`` — run the long-lived simulation service (see
-  :mod:`repro.service`): interactive requests dispatch to a worker
-  pool immediately, bulk requests are admitted only into utilization
-  gaps below the cap, with response caching, request coalescing and
-  graceful SIGTERM drain.  ``--journal`` makes accepted bulk work
-  durable (replayed after a crash); ``--request-timeout`` bounds each
-  dispatch, replacing hung workers and retrying their requests.
+  --request-timeout S] [--join HOST:PORT]`` — run the long-lived
+  simulation service (see :mod:`repro.service`): interactive requests
+  dispatch to a worker pool immediately, bulk requests are admitted
+  only into utilization gaps below the cap, with response caching,
+  request coalescing and graceful SIGTERM drain.  ``--journal`` makes
+  accepted bulk work durable (replayed after a crash);
+  ``--request-timeout`` bounds each dispatch, replacing hung workers
+  and retrying their requests.  ``--join HOST:PORT`` federates this
+  daemon into the fleet coordinated by the daemon at that address
+  (consistent-hash routing, peer caching, work-stealing bulk sweeps;
+  see :mod:`repro.service.fleet`).
 
 ``--store DIR`` persists every simulation run content-addressed under
 DIR, so repeated invocations (and parallel workers) reuse each other's
@@ -181,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serving.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "join the serving fleet coordinated by the daemon at "
+            "HOST:PORT: this daemon registers there, is assigned a "
+            "replica id, and serves its share of the consistent-hash "
+            "ring (requests routed by content address, bulk sweeps "
+            "work-stolen across replicas; default: coordinate a new "
+            "fleet)"
+        ),
+    )
+    serving.add_argument(
         "--request-timeout",
         type=float,
         default=None,
@@ -229,6 +246,13 @@ def main(argv=None) -> int:
         if args.jobs != 1:
             parser.error("'serve' sizes its pool with --workers, "
                          "not --jobs")
+        join = None
+        if args.join is not None:
+            join_host, sep, join_port = args.join.rpartition(":")
+            if not sep or not join_host or not join_port.isdigit():
+                parser.error("--join expects HOST:PORT, e.g. "
+                             "--join 127.0.0.1:8765")
+            join = (join_host, int(join_port))
         config = ServiceConfig(
             workers=args.workers,
             bulk_cap=args.bulk_cap,
@@ -239,7 +263,9 @@ def main(argv=None) -> int:
             journal_path=args.journal,
             request_timeout=args.request_timeout,
         )
-        return run_service(config, host=args.host, port=args.port)
+        return run_service(
+            config, host=args.host, port=args.port, join=join
+        )
     ctx = RunContext(
         scale=scale,
         store=RunStore(args.store),

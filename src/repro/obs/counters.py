@@ -131,6 +131,13 @@ class StoreCounters:
     quarantined:
         Corrupt disk entries moved into the store's ``corrupt/``
         subdirectory instead of crashing the reader.
+    peer_gets:
+        Peer cache lookups served to other fleet replicas (hit or
+        miss; the asking side counts hits/misses in its own
+        :class:`ServiceCounters`).
+    peer_puts:
+        Entries replicated *into* this store by other fleet replicas
+        (a non-owner computed a key this replica owns).
     """
 
     hits: int = 0
@@ -140,6 +147,8 @@ class StoreCounters:
     lease_breaks: int = 0
     integrity_failures: int = 0
     quarantined: int = 0
+    peer_gets: int = 0
+    peer_puts: int = 0
 
     def merge(self, other: "StoreCounters") -> "StoreCounters":
         """Add ``other``'s counts into this registry; returns self."""
@@ -205,6 +214,27 @@ class ServiceCounters:
     journal_replays:
         Accepted bulk requests recovered from the durable journal and
         re-executed after a restart.
+    forwards:
+        Requests this replica routed to their consistent-hash ring
+        owner on another fleet replica (see
+        :mod:`repro.service.fleet`).
+    peer_hits:
+        Computations avoided because the ring owner's cache already
+        held the key (a peer lookup before compute hit).
+    peer_misses:
+        Peer lookups against the ring owner that found nothing (the
+        asking replica then computed locally).
+    peer_replications:
+        Completed results this replica pushed to their ring owner's
+        store (it computed a key it does not own).
+    steals:
+        Queued bulk requests this replica pulled from a loaded peer's
+        backlog and executed itself.
+    steals_granted:
+        Queued bulk requests this replica handed to an idle peer.
+    steal_requeues:
+        Stolen entries re-enqueued locally because the thief never
+        reported a result within the steal deadline.
     """
 
     requests: int = 0
@@ -223,6 +253,13 @@ class ServiceCounters:
     worker_replacements: int = 0
     request_timeouts: int = 0
     journal_replays: int = 0
+    forwards: int = 0
+    peer_hits: int = 0
+    peer_misses: int = 0
+    peer_replications: int = 0
+    steals: int = 0
+    steals_granted: int = 0
+    steal_requeues: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Add ``other``'s counts into this registry; returns self."""

@@ -12,8 +12,13 @@ graceful drain.  The :mod:`~repro.service.resilience` layer makes the
 daemon self-healing: accepted bulk work is WAL-journaled and replayed
 after a crash, crashed/hung workers are replaced with their requests
 retried or dead-lettered, and corrupt store entries are quarantined
-and recomputed.  See ``DESIGN.md`` §11 for the architecture and §12
-for the failure semantics.
+and recomputed.  The :mod:`~repro.service.fleet` layer scales the
+daemon out: N replicas self-assemble over ``repro serve --join``,
+route requests by content address across a deterministic
+consistent-hash :class:`~repro.service.ring.HashRing`, answer repeats
+from each other's caches, and work-steal queued bulk sweeps from
+loaded peers.  See ``DESIGN.md`` §11 for the architecture, §12 for
+the failure semantics and §14 for the fleet.
 """
 
 from repro.service.client import (
@@ -22,6 +27,13 @@ from repro.service.client import (
     ServiceReply,
 )
 from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.fleet import (
+    FleetConfig,
+    FleetMember,
+    HttpPeerTransport,
+    LocalFleet,
+    LocalTransport,
+)
 from repro.service.http import HttpFrontend
 from repro.service.metrics import LatencyStats, ServiceMetrics, percentile
 from repro.service.requests import (
@@ -36,9 +48,17 @@ from repro.service.resilience import (
     BulkJournal,
     WorkerSupervisor,
 )
+from repro.service.ring import DEFAULT_VNODES, HashRing
 from repro.service.runner import run_service
 
 __all__ = [
+    "DEFAULT_VNODES",
+    "FleetConfig",
+    "FleetMember",
+    "HashRing",
+    "HttpPeerTransport",
+    "LocalFleet",
+    "LocalTransport",
     "BULK",
     "INTERACTIVE",
     "PRIORITIES",

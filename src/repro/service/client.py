@@ -1,8 +1,23 @@
 """Thin clients for the simulation service.
 
-:class:`ServiceClient` talks HTTP with :mod:`http.client` (stdlib, one
-connection per call, so one client instance is safe to share across
-threads).  :class:`InProcessClient` drives a
+:class:`ServiceClient` talks HTTP with :mod:`http.client` (stdlib).
+By default it keeps one **persistent keep-alive connection per
+thread** (thread-local, so one client instance is still safe to share
+across threads) and re-uses it across calls — the daemon's front end
+holds the socket open, which removes a TCP handshake from every
+request; ``bench_service.py`` measures the difference.  Pass
+``keep_alive=False`` to fall back to one connection per call.
+
+Because a long-lived socket can die between calls (daemon restart,
+idle timeout), idempotent calls **retry once** on reset-class errors
+(``RemoteDisconnected``, ``BadStatusLine``, ``ConnectionError``...)
+with a fresh connection.  Every request the service accepts is safe
+to retry: computations are deterministic and content-addressed, so a
+duplicate submission is absorbed by the cache or coalesced onto the
+in-flight run.  Timeouts deliberately do **not** retry — a stuck
+server is not a reset, and retrying would double the wait.
+
+:class:`InProcessClient` drives a
 :class:`~repro.service.daemon.SimulationService` coroutine pipeline
 from synchronous code via a background event loop — the same request
 semantics without sockets, used by tests and the service bench.
@@ -16,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -60,18 +76,53 @@ class ServiceReply:
         return self.payload.get("error")
 
 
+#: Errors meaning "the connection died" — safe to retry once with a
+#: fresh socket.  socket.timeout (a subclass of OSError in 3.10+,
+#: excluded explicitly) is NOT here on purpose: a slow server must
+#: surface as a timeout, not a silent doubled wait.
+_RESET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionError,
+    BrokenPipeError,
+)
+
+
 class ServiceClient:
-    """HTTP client for a running ``repro serve`` daemon."""
+    """HTTP client for a running ``repro serve`` daemon.
+
+    Parameters
+    ----------
+    host, port, timeout:
+        Daemon address and per-call socket timeout.
+    keep_alive:
+        Keep one persistent connection per thread (default).  When
+        False every call opens and closes its own connection — the
+        pre-keep-alive behavior, kept for measurement and for
+        pathological middleboxes.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8765,
         timeout: float = 300.0,
+        *,
+        keep_alive: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._local = threading.local()
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     # ------------------------------------------------------------------
     def run(
@@ -107,6 +158,10 @@ class ServiceClient:
     def metrics(self) -> ServiceReply:
         return self._call("GET", "/metrics")
 
+    def fleet_metrics(self) -> ServiceReply:
+        """Fleet-aggregated metrics (404 on a solo daemon)."""
+        return self._call("GET", "/fleet/metrics")
+
     def wait_until_healthy(
         self, timeout: float = 30.0, interval: float = 0.1
     ) -> ServiceReply:
@@ -128,30 +183,73 @@ class ServiceClient:
             time.sleep(interval)
 
     # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        """This thread's persistent connection, created on demand."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
     def _call(
         self,
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
     ) -> ServiceReply:
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        payload = (
+            None if body is None else json.dumps(body).encode("utf-8")
         )
-        try:
-            payload = (
-                None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        if not self.keep_alive:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
             )
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
             try:
-                decoded = json.loads(raw.decode("utf-8")) if raw else {}
-            except ValueError:
-                decoded = {"error": raw.decode("utf-8", "replace")}
-            return ServiceReply(response.status, decoded)
-        finally:
-            conn.close()
+                return self._exchange(
+                    conn, method, path, payload, headers
+                )
+            finally:
+                conn.close()
+        # Persistent path: retry exactly once on a reset-class error
+        # (the socket died between calls, or the daemon restarted
+        # mid-request).  Submissions are idempotent — deterministic,
+        # content-addressed, cache-absorbed — so the retry is safe.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                return self._exchange(
+                    conn, method, path, payload, headers
+                )
+            except socket.timeout:
+                self.close()
+                raise
+            except _RESET_ERRORS:
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exchange(
+        self,
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> ServiceReply:
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if response.will_close:
+            self.close()
+        return ServiceReply(response.status, decoded)
 
 
 class InProcessClient:

@@ -344,6 +344,11 @@ class SimulationService:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def default_scale(self) -> ExperimentScale:
+        """The scale applied to requests that name none."""
+        return self._scale
+
     def utilization(self) -> float:
         """In-flight dispatches over pool size (> 1.0 means the
         executor itself is queueing)."""
@@ -351,6 +356,27 @@ class SimulationService:
 
     def bulk_queue_depth(self) -> int:
         return len(self._bulk_queue)
+
+    def bulk_slots(self) -> int:
+        """Concurrent bulk dispatches the utilization cap can ever
+        admit: ``floor(bulk_cap * workers)``, at least 1 so bulk work
+        always makes progress.  The fleet layer feeds its stealable
+        backlog into the service at exactly this concurrency — enough
+        to keep every interstice busy, while the rest of the backlog
+        stays outside the admission queue where peers can steal it."""
+        return max(
+            1, int(self.config.bulk_cap * self.config.workers + 1e-9)
+        )
+
+    def has_cached(self, key: str) -> bool:
+        """Would a request hashing to ``key`` be answered from the
+        store right now?  (Fleet fast path: skip the backlog.)"""
+        return key in self.store
+
+    def is_inflight(self, key: str) -> bool:
+        """Is a computation for ``key`` currently in flight?  (Fleet
+        fast path: submitting now coalesces instead of queueing.)"""
+        return key in self._inflight
 
     def healthz(self) -> Dict[str, Any]:
         """The ``/healthz`` payload."""

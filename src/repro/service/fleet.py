@@ -1,0 +1,1164 @@
+"""Scale-out serving: a consistent-hash sharded fleet of daemons.
+
+PR 4–6 built one self-healing daemon; this module grows it into a
+*fleet* that behaves like one big content-addressed service.  ``N``
+``repro serve`` daemons self-assemble — the first boot is the
+*coordinator*, later boots join it with ``repro serve --join
+HOST:PORT`` — and agree on a deterministic
+:class:`~repro.service.ring.HashRing` over replica ids.  Three
+mechanisms make the fleet more than N isolated daemons:
+
+* **Content-address routing** — every request's RunStore key (already
+  a SHA-256, see :meth:`SimRequest.run_payload`) has exactly one ring
+  *owner*.  A replica receiving a client request forwards it to the
+  owner, so repeated configurations always land on the same replica
+  and cache locality is structural rather than accidental.
+
+* **Peer cache + replication** — when a replica computes a key it
+  does not own (stolen work, or an unreachable owner), it first asks
+  the owner's store (``peer_hits``/``peer_misses``) and, after
+  computing, replicates the result back to the owner
+  (``peer_replications``) — so the owner's store converges to hold
+  everything it owns and the fleet answers repeats from cache no
+  matter which replica computed first.  Values are immutable and
+  deterministic, which is what makes this replication trivially
+  consistent: any copy of a key is byte-identical, first write wins.
+
+* **Work-stealing bulk sweeps** — bulk requests queue in a per-replica
+  *backlog* in front of the admission cap (only ``bulk_slots()``
+  dispatches are fed to the service at once, so the backlog stays
+  visible).  An idle replica — empty backlog, admission slots free —
+  polls peers and *steals* queued entries from their backlog tails
+  (classic tail-stealing: the victim keeps its oldest, most
+  cache-local work).  The victim parks the stolen entry's waiter and
+  the thief reports the result back; a thief that dies simply times
+  out and the victim re-enqueues (``steal_requeues``) — safe because
+  every computation is deterministic and cache-absorbed.
+
+Interactive requests never touch the backlog: they are forwarded to
+their owner and dispatched immediately under that replica's own
+Table 8-style utilization cap, exactly as on a single daemon.
+
+Two transports implement the peer protocol: :class:`LocalTransport`
+(direct coroutine calls, for the in-process fleets the tests, bench
+and CI smoke build) and :class:`HttpPeerTransport` (persistent
+keep-alive sockets against the peer's ``/fleet/*`` routes).  The
+fleet logic cannot tell them apart.
+
+See ``DESIGN.md`` §14 for the topology, join protocol, consistency
+model and steal policy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.client import ServiceReply
+from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.requests import (
+    BULK,
+    INTERACTIVE,
+    ServiceResponse,
+    SimRequest,
+)
+from repro.service.ring import DEFAULT_VNODES, HashRing
+from repro.store import PEER_MISS, content_key
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-side tunables for one replica.
+
+    Parameters
+    ----------
+    replica_id:
+        Ring identity.  The coordinator is ``r0``; joining replicas
+        are assigned ``r1``, ``r2``, ... by the coordinator.
+    coordinator:
+        Whether this replica assigns ids and membership (the first
+        boot).  Joined replicas refuse ``/fleet/join`` with a 409.
+    vnodes:
+        Virtual ring points per replica (see :class:`HashRing`).
+    max_backlog:
+        Bulk backlog bound; arrivals beyond it bounce with 429
+        backpressure (the fleet-level analogue of ``max_queue``).
+    steal_batch:
+        Most entries granted per steal request.
+    steal_interval:
+        Idle-poll period (seconds) of the steal loop.
+    steal_timeout:
+        Seconds a stolen entry may stay unreported before the victim
+        re-enqueues it locally.
+    """
+
+    replica_id: str = "r0"
+    coordinator: bool = True
+    vnodes: int = DEFAULT_VNODES
+    max_backlog: int = 1024
+    steal_batch: int = 2
+    steal_interval: float = 0.05
+    steal_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_backlog < 1:
+            raise ConfigurationError(
+                f"max_backlog must be >= 1: {self.max_backlog}"
+            )
+        if self.steal_batch < 1:
+            raise ConfigurationError(
+                f"steal_batch must be >= 1: {self.steal_batch}"
+            )
+        if self.steal_interval <= 0:
+            raise ConfigurationError(
+                f"steal_interval must be positive: {self.steal_interval}"
+            )
+        if self.steal_timeout <= 0:
+            raise ConfigurationError(
+                f"steal_timeout must be positive: {self.steal_timeout}"
+            )
+
+
+@dataclass
+class _BulkEntry:
+    """One queued bulk request in the stealable backlog."""
+
+    entry_id: int
+    request: SimRequest
+    key: str
+    #: Local waiter (None on stolen-in entries, whose result goes back
+    #: to the victim instead).
+    future: Optional["asyncio.Future[ServiceResponse]"] = None
+    #: Victim replica + its entry id, set on stolen-in entries.
+    victim: Optional[str] = None
+    remote_id: Optional[int] = None
+    #: Stolen-in entries must not be re-stolen (no ping-pong).
+    stealable: bool = True
+
+
+def _request_payload(request: SimRequest) -> Dict[str, Any]:
+    """Wire form of a request (accepted by SimRequest.from_payload)."""
+    return {
+        "experiment": request.experiment,
+        "scale": request.scale,
+        "seed": request.seed,
+        "priority": request.priority,
+    }
+
+
+class FleetMember:
+    """One replica's fleet brain, wrapped around its
+    :class:`SimulationService`.
+
+    All coroutine methods must run on the service's event loop.  The
+    HTTP front end and the transports are the only callers.
+    """
+
+    def __init__(
+        self,
+        service: SimulationService,
+        config: Optional[FleetConfig] = None,
+        *,
+        transport_factory: Optional[
+            Callable[[str, int], "HttpPeerTransport"]
+        ] = None,
+    ) -> None:
+        self.service = service
+        self.config = config or FleetConfig()
+        self.replica_id = self.config.replica_id
+        self.ring = HashRing(
+            [self.replica_id], vnodes=self.config.vnodes
+        )
+        #: replica id -> transport (everyone but self).
+        self.peers: Dict[str, Any] = {}
+        self._transport_factory = transport_factory or (
+            lambda host, port: HttpPeerTransport(host, port)
+        )
+        #: replica id -> (host, port) for members joined over HTTP.
+        self._members: Dict[str, Tuple[str, int]] = {}
+        self._next_index = 1
+        self._advertise: Optional[Tuple[str, int]] = None
+        self._backlog: Deque[_BulkEntry] = deque()
+        self._stolen_out: Dict[int, _BulkEntry] = {}
+        self._steal_timers: Dict[int, asyncio.TimerHandle] = {}
+        self._entry_seq = 0
+        self._pump_inflight = 0
+        self._tasks: set = set()
+        self._wake: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._steal_task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the backlog pump and the steal loop (call once, on
+        the event loop, after ``service.start()``)."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._pump_task = self._loop.create_task(self._pump_loop())
+        self._steal_task = self._loop.create_task(self._steal_loop())
+
+    def begin_close(self) -> None:
+        """Stop acquiring work: no new backlog entries, no stealing,
+        no steal grants.  In-flight and stolen-out work still settles."""
+        self._closing = True
+
+    async def wait_idle(self, timeout: float = 120.0) -> None:
+        """Wait until the backlog is drained, every pumped dispatch
+        finished and every stolen-out entry settled or re-enqueued."""
+        deadline = self._loop.time() + timeout
+        while (
+            self._backlog
+            or self._pump_inflight
+            or self._stolen_out
+        ):
+            if self._loop.time() > deadline:
+                raise ServiceError(
+                    f"fleet member {self.replica_id} not idle after "
+                    f"{timeout:.0f}s: backlog={len(self._backlog)} "
+                    f"inflight={self._pump_inflight} "
+                    f"stolen_out={len(self._stolen_out)}"
+                )
+            self._kick()
+            await asyncio.sleep(0.01)
+
+    async def finish_close(self) -> None:
+        """Cancel the loops and close peer transports."""
+        for task in (self._pump_task, self._steal_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._pump_task = self._steal_task = None
+        for timer in self._steal_timers.values():
+            timer.cancel()
+        self._steal_timers.clear()
+        for transport in self.peers.values():
+            close = getattr(transport, "close", None)
+            if close is not None:
+                result = close()
+                if asyncio.iscoroutine(result):
+                    await result
+
+    async def close(self) -> None:
+        """begin_close + wait_idle + finish_close, in order."""
+        self.begin_close()
+        await self.wait_idle()
+        await self.finish_close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def counters(self):
+        return self.service.metrics.counters
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.ring)
+
+    def backlog_depth(self) -> int:
+        return len(self._backlog)
+
+    def set_advertise(self, host: str, port: int) -> None:
+        """Record the address peers can reach this replica at (the
+        bound front-end port, known only after listen)."""
+        self._advertise = (host, port)
+        self._members[self.replica_id] = (host, port)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The service ``/metrics`` payload plus the fleet section."""
+        snap = self.service.metrics_snapshot()
+        snap["fleet"] = {
+            "replica_id": self.replica_id,
+            "replica_count": self.replica_count,
+            "replicas": self.ring.replicas,
+            "backlog_depth": len(self._backlog),
+            "stolen_outstanding": len(self._stolen_out),
+        }
+        return snap
+
+    async def fleet_metrics(self) -> Dict[str, Any]:
+        """Fleet-aggregated metrics: every replica's snapshot plus
+        summed service counters (transport failures surface as an
+        ``error`` entry for that replica rather than failing the
+        aggregation)."""
+        per: Dict[str, Any] = {self.replica_id: self.metrics_snapshot()}
+        for rid in sorted(self.peers):
+            try:
+                per[rid] = await self.peers[rid].metrics()
+            except Exception as exc:  # noqa: BLE001 - peer boundary
+                per[rid] = {"error": f"{type(exc).__name__}: {exc}"}
+        totals: Dict[str, int] = {}
+        for snap in per.values():
+            for name, value in snap.get("counters", {}).items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return {
+            "replica_count": self.replica_count,
+            "replicas": per,
+            "totals": totals,
+        }
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    async def submit(self, request: SimRequest) -> ServiceResponse:
+        """Front-door entry: route by content address.  With a
+        single-member ring this is exactly ``service.submit`` — a solo
+        daemon keeps its PR 4–6 behavior bit for bit."""
+        if self.replica_count <= 1:
+            return await self.service.submit(request)
+        validated = self._validate(request)
+        if isinstance(validated, ServiceResponse):
+            return validated
+        key, _scale = validated
+        owner = self.ring.owner(key)
+        if owner == self.replica_id or owner not in self.peers:
+            return await self.handle_owned(request, key)
+        self.counters.forwards += 1
+        try:
+            status, payload = await self.peers[owner].run(
+                _request_payload(request)
+            )
+            return ServiceResponse(status, payload)
+        except Exception:  # noqa: BLE001 - degraded: owner unreachable
+            return await self._run_remote_owned(request, key, owner)
+
+    async def handle_routed(
+        self, request: SimRequest
+    ) -> ServiceResponse:
+        """A peer routed ``request`` here because we own its key.
+        Never re-forward (membership skew between two replicas must
+        not bounce a request around the ring)."""
+        validated = self._validate(request)
+        if isinstance(validated, ServiceResponse):
+            return validated
+        key, _scale = validated
+        return await self.handle_owned(request, key)
+
+    async def handle_owned(
+        self, request: SimRequest, key: str
+    ) -> ServiceResponse:
+        """Serve a request whose key this replica owns."""
+        if request.priority == INTERACTIVE:
+            # Natives dispatch immediately under the local cap.
+            return await self.service.submit(request)
+        if (
+            self.service.has_cached(key)
+            or self.service.is_inflight(key)
+        ):
+            # Fast path: the answer exists (or is being computed) —
+            # service.submit resolves it without a pool dispatch.
+            return await self.service.submit(request)
+        if self._closing or self.service.draining:
+            self.counters.drain_rejections += 1
+            return ServiceResponse(
+                503,
+                {"status": "draining", "error": "service is draining"},
+            )
+        if len(self._backlog) >= self.config.max_backlog:
+            self.counters.rejections += 1
+            retry_after = self._retry_after(len(self._backlog))
+            return ServiceResponse(
+                429,
+                {"status": "rejected", "error": "fleet backlog full",
+                 "retry_after_s": retry_after},
+                retry_after=retry_after,
+            )
+        entry = self._new_entry(request, key)
+        entry.future = self._loop.create_future()
+        self._backlog.append(entry)
+        self._kick()
+        return await asyncio.shield(entry.future)
+
+    def _validate(self, request: SimRequest):
+        """400 response for a bad request, else ``(key, scale)``."""
+        from repro.experiments.registry import SPECS
+
+        try:
+            if request.experiment not in SPECS:
+                raise ServiceError(
+                    f"unknown experiment {request.experiment!r}; "
+                    f"see 'repro list'"
+                )
+            scale = request.resolve_scale(self.service.default_scale)
+        except ServiceError as exc:
+            return ServiceResponse(
+                400, {"status": "error", "error": str(exc)}
+            )
+        return content_key(request.run_payload(scale)), scale
+
+    def _retry_after(self, depth: int) -> float:
+        mean = self.service.metrics.estimated_service_time(BULK)
+        lanes = max(1, self.service.bulk_slots()) * max(
+            1, self.replica_count
+        )
+        return max(1.0, depth * mean / lanes)
+
+    def _new_entry(self, request: SimRequest, key: str) -> _BulkEntry:
+        self._entry_seq += 1
+        return _BulkEntry(self._entry_seq, request, key)
+
+    # ------------------------------------------------------------------
+    # Peer protocol handlers (called by transports / HTTP routes)
+    # ------------------------------------------------------------------
+    def handle_cache_get(self, key: str) -> Tuple[bool, Any]:
+        """Serve a peer's cache lookup: ``(hit, value)``.  Only JSON
+        textual products travel the wire; anything else (a worker's
+        pickled simulation product sharing the store) reports a miss."""
+        value = self.service.store.peer_get(key)
+        if value is PEER_MISS or not isinstance(value, str):
+            return False, None
+        return True, value
+
+    def handle_cache_put(self, key: str, value: str) -> None:
+        """Accept a result replicated by the non-owner that computed it."""
+        self.service.store.peer_put(key, value)
+
+    def handle_steal(
+        self, thief: str, max_n: int
+    ) -> List[Dict[str, Any]]:
+        """Grant up to ``max_n`` backlog entries to ``thief`` (tail
+        first, stealable only).  Granted entries are parked with a
+        deadline: an unreported theft is re-enqueued locally."""
+        granted: List[Dict[str, Any]] = []
+        if self._closing or self.service.draining:
+            return granted
+        budget = max(0, min(max_n, self.config.steal_batch))
+        while budget > len(granted):
+            idx = next(
+                (
+                    i
+                    for i in range(len(self._backlog) - 1, -1, -1)
+                    if self._backlog[i].stealable
+                ),
+                None,
+            )
+            if idx is None:
+                break
+            entry = self._backlog[idx]
+            del self._backlog[idx]
+            self._stolen_out[entry.entry_id] = entry
+            self._steal_timers[entry.entry_id] = self._loop.call_later(
+                self.config.steal_timeout,
+                self._steal_deadline,
+                entry.entry_id,
+            )
+            self.counters.steals_granted += 1
+            granted.append(
+                {
+                    "entry_id": entry.entry_id,
+                    "request": _request_payload(entry.request),
+                }
+            )
+        return granted
+
+    def handle_stolen(
+        self, entry_id: int, status: int, payload: Dict[str, Any]
+    ) -> None:
+        """A thief reports the outcome of a stolen entry."""
+        timer = self._steal_timers.pop(entry_id, None)
+        if timer is not None:
+            timer.cancel()
+        entry = self._stolen_out.pop(entry_id, None)
+        if (
+            entry is not None
+            and entry.future is not None
+            and not entry.future.done()
+        ):
+            entry.future.set_result(ServiceResponse(status, payload))
+
+    def _steal_deadline(self, entry_id: int) -> None:
+        """The thief never reported: take the entry back.  Safe even
+        if the thief later completes — the settle is first-wins on the
+        future, and any duplicate compute is deterministic and
+        cache-absorbed."""
+        self._steal_timers.pop(entry_id, None)
+        entry = self._stolen_out.pop(entry_id, None)
+        if entry is None:
+            return
+        self.counters.steal_requeues += 1
+        self._backlog.append(entry)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Membership / join protocol
+    # ------------------------------------------------------------------
+    def members_payload(self) -> List[Dict[str, Any]]:
+        return [
+            {"id": rid, "host": host, "port": port}
+            for rid, (host, port) in sorted(self._members.items())
+        ]
+
+    def handle_join(self, host: str, port: int) -> Dict[str, Any]:
+        """Coordinator-side join: assign the next replica id, admit
+        the newcomer, broadcast the membership to everyone else."""
+        if not self.config.coordinator:
+            raise ServiceError(
+                "this replica is not the fleet coordinator; join via "
+                "the first daemon"
+            )
+        rid = f"r{self._next_index}"
+        self._next_index += 1
+        self._members[rid] = (host, port)
+        self.peers[rid] = self._transport_factory(host, port)
+        self.ring.add(rid)
+        members = self.members_payload()
+        for peer_id in list(self.peers):
+            if peer_id == rid:
+                continue  # the newcomer learns from the join reply
+            task = self._loop.create_task(
+                self._push_membership(peer_id, members)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return {
+            "id": rid,
+            "members": members,
+            "scale": self.service.default_scale.name,
+        }
+
+    async def _push_membership(
+        self, peer_id: str, members: List[Dict[str, Any]]
+    ) -> None:
+        try:
+            await self.peers[peer_id].membership(members)
+        except Exception:  # noqa: BLE001 - peers catch up on next push
+            pass
+
+    def handle_membership(
+        self, members: Sequence[Dict[str, Any]]
+    ) -> None:
+        """Adopt a membership broadcast: wire transports and ring
+        points for members we have not met (append-only: the fleet
+        has no leave protocol; see DESIGN §14)."""
+        for rec in members:
+            rid = rec["id"]
+            self._members[rid] = (rec["host"], int(rec["port"]))
+            if rid == self.replica_id or rid in self.peers:
+                continue
+            self.peers[rid] = self._transport_factory(
+                rec["host"], int(rec["port"])
+            )
+            self.ring.add(rid)
+
+    async def join(self, host: str, port: int) -> Dict[str, Any]:
+        """Replica-side join: register with the coordinator at
+        ``host:port``, adopt the assigned id and the member list."""
+        if self._advertise is None:
+            raise ServiceError(
+                "set_advertise() must run before join() so peers can "
+                "reach this replica"
+            )
+        transport = self._transport_factory(host, port)
+        try:
+            reply = await transport.join(
+                self._advertise[0], self._advertise[1]
+            )
+        finally:
+            close = getattr(transport, "close", None)
+            if close is not None:
+                result = close()
+                if asyncio.iscoroutine(result):
+                    await result
+        old_id = self.replica_id
+        self.replica_id = reply["id"]
+        self._members.pop(old_id, None)
+        self.set_advertise(*self._advertise)
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self.ring.add(self.replica_id)
+        self.handle_membership(reply["members"])
+        return reply
+
+    # ------------------------------------------------------------------
+    # Backlog pump
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    async def _pump_loop(self) -> None:
+        """Feed the backlog into the service at the admission cap's
+        width, leaving the excess where peers can steal it."""
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            slots = self.service.bulk_slots()
+            while self._backlog and self._pump_inflight < slots:
+                entry = self._backlog.popleft()
+                self._pump_inflight += 1
+                task = self._loop.create_task(self._drive(entry))
+                self._tasks.add(task)
+                task.add_done_callback(self._drive_done)
+
+    def _drive_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._pump_inflight -= 1
+        if not task.cancelled():
+            task.exception()  # failures settle inside _drive
+        self._kick()
+
+    async def _drive(self, entry: _BulkEntry) -> None:
+        """Execute one backlog entry (local or stolen) and settle it."""
+        try:
+            owner = self.ring.owner(entry.key)
+            if owner == self.replica_id or owner not in self.peers:
+                response = await self.service.submit(entry.request)
+            else:
+                response = await self._run_remote_owned(
+                    entry.request, entry.key, owner
+                )
+        except Exception as exc:  # noqa: BLE001 - settle, never strand
+            response = ServiceResponse(
+                500,
+                {"status": "error",
+                 "error": f"{type(exc).__name__}: {exc}"},
+            )
+        await self._settle(entry, response)
+
+    async def _run_remote_owned(
+        self, request: SimRequest, key: str, owner: str
+    ) -> ServiceResponse:
+        """Compute a key owned by ``owner`` here: peer cache lookup
+        first, replicate the result back after."""
+        transport = self.peers.get(owner)
+        if transport is not None:
+            try:
+                hit, value = await transport.cache_get(key)
+            except Exception:  # noqa: BLE001 - lookup is best-effort
+                hit, value = False, None
+            if hit:
+                self.counters.peer_hits += 1
+                return self._peer_ok(request, key, value, owner)
+            self.counters.peer_misses += 1
+        response = await self.service.submit(request)
+        if (
+            transport is not None
+            and response.ok
+            and not response.payload.get("cached")
+            and not response.payload.get("coalesced")
+        ):
+            try:
+                await transport.cache_put(
+                    key, response.payload["result"]
+                )
+                self.counters.peer_replications += 1
+            except Exception:  # noqa: BLE001 - replication best-effort
+                pass
+        return response
+
+    def _peer_ok(
+        self, request: SimRequest, key: str, text: str, owner: str
+    ) -> ServiceResponse:
+        scale = request.resolve_scale(self.service.default_scale)
+        return ServiceResponse(
+            200,
+            {
+                "status": "ok",
+                "experiment": request.experiment,
+                "scale": scale.name,
+                "seed": scale.seed,
+                "priority": request.priority,
+                "cached": True,
+                "coalesced": False,
+                "peer": owner,
+                "elapsed_s": 0.0,
+                "key": key,
+                "result": text,
+            },
+        )
+
+    async def _settle(
+        self, entry: _BulkEntry, response: ServiceResponse
+    ) -> None:
+        if entry.victim is not None:
+            transport = self.peers.get(entry.victim)
+            if transport is None:
+                return  # victim gone; its deadline requeues the entry
+            try:
+                await transport.stolen(
+                    entry.remote_id, response.status, response.payload
+                )
+            except Exception:  # noqa: BLE001 - victim requeues on timeout
+                pass
+        elif entry.future is not None and not entry.future.done():
+            entry.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Steal loop (thief side)
+    # ------------------------------------------------------------------
+    def _steal_ready(self) -> bool:
+        return (
+            not self._closing
+            and not self.service.draining
+            and self.replica_count > 1
+            and not self._backlog
+            and self._pump_inflight < self.service.bulk_slots()
+        )
+
+    async def _steal_loop(self) -> None:
+        rotation = 0
+        while True:
+            await asyncio.sleep(self.config.steal_interval)
+            if not self._steal_ready():
+                continue
+            peer_ids = [
+                rid for rid in self.ring.replicas
+                if rid != self.replica_id and rid in self.peers
+            ]
+            if not peer_ids:
+                continue
+            for offset in range(len(peer_ids)):
+                victim = peer_ids[(rotation + offset) % len(peer_ids)]
+                try:
+                    grants = await self.peers[victim].steal(
+                        self.replica_id, self.config.steal_batch
+                    )
+                except Exception:  # noqa: BLE001 - victim unreachable
+                    continue
+                if not grants:
+                    continue
+                self.counters.steals += len(grants)
+                for rec in grants:
+                    request = SimRequest.from_payload(rec["request"])
+                    validated = self._validate(request)
+                    if isinstance(validated, ServiceResponse):
+                        # Registry/scale drift between replicas:
+                        # bounce the error straight back.
+                        await self._report_stolen(
+                            victim, rec["entry_id"], validated
+                        )
+                        continue
+                    key, _scale = validated
+                    entry = _BulkEntry(
+                        self._next_entry_id(),
+                        request,
+                        key,
+                        victim=victim,
+                        remote_id=rec["entry_id"],
+                        stealable=False,
+                    )
+                    self._backlog.append(entry)
+                self._kick()
+                break
+            rotation += 1
+
+    def _next_entry_id(self) -> int:
+        self._entry_seq += 1
+        return self._entry_seq
+
+    async def _report_stolen(
+        self, victim: str, remote_id: int, response: ServiceResponse
+    ) -> None:
+        transport = self.peers.get(victim)
+        if transport is None:
+            return
+        try:
+            await transport.stolen(
+                remote_id, response.status, response.payload
+            )
+        except Exception:  # noqa: BLE001 - victim requeues on timeout
+            pass
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class LocalTransport:
+    """Peer transport for in-process fleets: direct coroutine calls
+    into another :class:`FleetMember` on the same event loop."""
+
+    def __init__(self, member: FleetMember) -> None:
+        self._member = member
+
+    async def run(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        response = await self._member.handle_routed(
+            SimRequest.from_payload(payload)
+        )
+        return response.status, response.payload
+
+    async def cache_get(self, key: str) -> Tuple[bool, Any]:
+        return self._member.handle_cache_get(key)
+
+    async def cache_put(self, key: str, value: str) -> None:
+        self._member.handle_cache_put(key, value)
+
+    async def steal(
+        self, thief: str, max_n: int
+    ) -> List[Dict[str, Any]]:
+        return self._member.handle_steal(thief, max_n)
+
+    async def stolen(
+        self, entry_id: int, status: int, payload: Dict[str, Any]
+    ) -> None:
+        self._member.handle_stolen(entry_id, status, payload)
+
+    async def metrics(self) -> Dict[str, Any]:
+        return self._member.metrics_snapshot()
+
+    async def membership(
+        self, members: Sequence[Dict[str, Any]]
+    ) -> None:
+        self._member.handle_membership(members)
+
+
+class HttpPeerTransport:
+    """Peer transport over one persistent keep-alive HTTP connection.
+
+    RPCs are serialized per peer (one in flight at a time) on an
+    asyncio stream pair; a dead connection is re-opened and the RPC
+    retried once.  A steal whose first attempt died in flight is safe
+    to retry: if the victim *did* grant entries to the lost request,
+    its steal deadline re-enqueues them.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    async def run(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        return await self._request("POST", "/fleet/run", payload)
+
+    async def cache_get(self, key: str) -> Tuple[bool, Any]:
+        status, payload = await self._request(
+            "GET", f"/fleet/cache/{key}"
+        )
+        if status == 200:
+            return True, payload.get("value")
+        return False, None
+
+    async def cache_put(self, key: str, value: str) -> None:
+        status, payload = await self._request(
+            "POST", f"/fleet/cache/{key}", {"value": value}
+        )
+        if status != 200:
+            raise ServiceError(
+                f"peer cache put failed ({status}): "
+                f"{payload.get('error')}"
+            )
+
+    async def steal(
+        self, thief: str, max_n: int
+    ) -> List[Dict[str, Any]]:
+        status, payload = await self._request(
+            "POST", "/fleet/steal", {"thief": thief, "max_n": max_n}
+        )
+        if status != 200:
+            raise ServiceError(
+                f"steal refused ({status}): {payload.get('error')}"
+            )
+        return payload.get("entries", [])
+
+    async def stolen(
+        self, entry_id: int, status: int, payload: Dict[str, Any]
+    ) -> None:
+        rstatus, rpayload = await self._request(
+            "POST",
+            "/fleet/stolen",
+            {"entry_id": entry_id, "status": status,
+             "payload": payload},
+        )
+        if rstatus != 200:
+            raise ServiceError(
+                f"stolen report refused ({rstatus}): "
+                f"{rpayload.get('error')}"
+            )
+
+    async def metrics(self) -> Dict[str, Any]:
+        status, payload = await self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"peer metrics failed ({status})")
+        return payload
+
+    async def join(self, host: str, port: int) -> Dict[str, Any]:
+        status, payload = await self._request(
+            "POST", "/fleet/join", {"host": host, "port": port}
+        )
+        if status != 200:
+            raise ServiceError(
+                f"join refused ({status}): {payload.get('error')}"
+            )
+        return payload
+
+    async def membership(
+        self, members: Sequence[Dict[str, Any]]
+    ) -> None:
+        status, payload = await self._request(
+            "POST", "/fleet/membership", {"members": list(members)}
+        )
+        if status != 200:
+            raise ServiceError(
+                f"membership push refused ({status}): "
+                f"{payload.get('error')}"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # noqa: BLE001 - already dead is fine
+                pass
+        self._reader = self._writer = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            self.timeout,
+        )
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        import json
+
+        encoded = (
+            b"" if body is None else json.dumps(body).encode("utf-8")
+        )
+        message = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1") + encoded
+        async with self._lock:
+            last_exc: Optional[BaseException] = None
+            for attempt in (0, 1):
+                try:
+                    if self._writer is None:
+                        await self._connect()
+                    self._writer.write(message)
+                    await self._writer.drain()
+                    return await asyncio.wait_for(
+                        self._read_response(), self.timeout
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    last_exc = exc
+                    self.close()
+                    if attempt:
+                        break
+            raise ServiceError(
+                f"peer {self.host}:{self.port} unreachable: "
+                f"{type(last_exc).__name__}: {last_exc}"
+            )
+
+    async def _read_response(self) -> Tuple[int, Dict[str, Any]]:
+        import json
+
+        status_line = await self._reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(
+                f"malformed peer status line: {status_line!r}"
+            )
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("peer closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, payload
+
+
+# ----------------------------------------------------------------------
+# In-process fleet harness
+# ----------------------------------------------------------------------
+class LocalFleet:
+    """An N-replica fleet on one background event loop, no sockets.
+
+    The harness the fleet tests, ``bench_fleet.py`` and the CI smoke
+    demo share: N independent :class:`SimulationService` instances
+    (each with its own store — that separation is what makes peer
+    caching observable), fully meshed over :class:`LocalTransport`,
+    driven synchronously like
+    :class:`~repro.service.client.InProcessClient`.
+
+    Use as a context manager; ``__exit__`` drains every backlog and
+    stops every service.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        *,
+        service_config: Optional[ServiceConfig] = None,
+        fleet_config: Optional[FleetConfig] = None,
+        pool_factory: Optional[Callable[[int], Any]] = None,
+        worker_fn: Optional[Callable[..., str]] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1: {replicas}"
+            )
+        base_service = service_config or ServiceConfig()
+        base_fleet = fleet_config or FleetConfig()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        kwargs: Dict[str, Any] = {}
+        if pool_factory is not None:
+            kwargs["pool_factory"] = pool_factory
+        if worker_fn is not None:
+            kwargs["worker_fn"] = worker_fn
+        self.members: List[FleetMember] = []
+        for i in range(replicas):
+            service = SimulationService(base_service, **kwargs)
+            member = FleetMember(
+                service,
+                _replace_id(base_fleet, f"r{i}", coordinator=i == 0),
+            )
+            self.members.append(member)
+        for member in self.members:
+            for other in self.members:
+                if other is member:
+                    continue
+                member.peers[other.replica_id] = LocalTransport(other)
+                member.ring.add(other.replica_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def coordinator(self) -> FleetMember:
+        return self.members[0]
+
+    def __enter__(self) -> "LocalFleet":
+        self._thread.start()
+        for member in self.members:
+            self._await(member.service.start())
+            self._await(member.start())
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        for member in self.members:
+            member.begin_close()
+        for member in self.members:
+            self._await(member.wait_idle())
+        for member in self.members:
+            self._await(member.finish_close())
+        for member in self.members:
+            self._await(member.service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        experiment: str,
+        *,
+        scale: Optional[str] = None,
+        seed: Optional[int] = None,
+        priority: str = INTERACTIVE,
+        via: int = 0,
+    ) -> ServiceReply:
+        """Submit one request through replica ``via`` (default: the
+        coordinator), blocking for the reply."""
+        request = SimRequest(
+            experiment=experiment, scale=scale, seed=seed,
+            priority=priority,
+        )
+        response = self._await(self.members[via].submit(request))
+        return ServiceReply(response.status, response.payload)
+
+    def run_many(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        *,
+        via: int = 0,
+    ) -> List[ServiceReply]:
+        """Submit many request payloads concurrently (the concurrency
+        that exercises routing, stealing and coalescing),
+        order-preserving."""
+        futures = [
+            asyncio.run_coroutine_threadsafe(
+                self.members[via].submit(SimRequest(**kw)), self._loop
+            )
+            for kw in payloads
+        ]
+        return [
+            ServiceReply(r.status, r.payload)
+            for r in (f.result() for f in futures)
+        ]
+
+    def metrics(self, via: int = 0) -> Dict[str, Any]:
+        return self.members[via].metrics_snapshot()
+
+    def fleet_metrics(self) -> Dict[str, Any]:
+        return self._await(self.coordinator.fleet_metrics())
+
+    # ------------------------------------------------------------------
+    def _await(self, coro: Any) -> Any:
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop
+        ).result(timeout=300.0)
+
+
+def _replace_id(
+    config: FleetConfig, replica_id: str, *, coordinator: bool
+) -> FleetConfig:
+    from dataclasses import replace
+
+    return replace(
+        config, replica_id=replica_id, coordinator=coordinator
+    )
+
+
+# Re-exported for callers that only import the fleet module.
+__all__ = [
+    "FleetConfig",
+    "FleetMember",
+    "HttpPeerTransport",
+    "LocalFleet",
+    "LocalTransport",
+]

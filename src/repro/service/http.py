@@ -1,7 +1,6 @@
 """Minimal stdlib HTTP/1.1 front end for the simulation service.
 
-One deliberately small surface — three routes, JSON in/out,
-``Connection: close`` per request — implemented directly on
+One deliberately small surface — JSON in/out, implemented directly on
 ``asyncio.start_server`` so the daemon stays single-threaded and adds
 no runtime dependency:
 
@@ -12,6 +11,21 @@ no runtime dependency:
 * ``GET /healthz`` — liveness, version and admission posture;
 * ``GET /metrics`` — counters, per-class latency and store behavior.
 
+When the daemon is a fleet replica (see :mod:`repro.service.fleet`)
+the front end also speaks the peer protocol — ``POST /fleet/run``
+(owner-routed execution), ``GET``/``POST /fleet/cache/<key>`` (peer
+cache lookup/replication), ``POST /fleet/steal`` and ``/fleet/stolen``
+(work-stealing), ``POST /fleet/join`` and ``/fleet/membership``
+(self-assembly), and ``GET /fleet/metrics`` (fleet-wide aggregation).
+These routes answer 404 on a solo daemon.
+
+Connections are **persistent** (HTTP/1.1 keep-alive): the handler
+loops requests on one socket until the client sends ``Connection:
+close``, goes quiet past :attr:`HttpFrontend.keep_alive_timeout`, or
+disconnects.  HTTP/1.0 clients get one response per connection unless
+they opt in with ``Connection: keep-alive``.  Error responses close
+the connection — after a parse failure the framing can't be trusted.
+
 The parser accepts exactly what the bundled client emits (request
 line, headers, optional ``Content-Length`` body) and answers anything
 malformed with a 400 rather than crashing the connection handler.
@@ -21,7 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.errors import ServiceError
 from repro.service.daemon import SimulationService
@@ -35,6 +49,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -43,18 +58,41 @@ _REASONS = {
 
 
 class HttpFrontend:
-    """Serve a :class:`SimulationService` over HTTP."""
+    """Serve a :class:`SimulationService` (and optionally its fleet
+    membership) over HTTP.
+
+    Parameters
+    ----------
+    service:
+        The admission pipeline behind ``/run``.
+    host, port:
+        Bind address; ``port=0`` picks a free port, reflected back
+        into :attr:`port` after :meth:`start`.
+    member:
+        The daemon's :class:`~repro.service.fleet.FleetMember`.  When
+        set, ``/run`` routes by content address across the fleet and
+        the ``/fleet/*`` peer routes come alive.
+    keep_alive_timeout:
+        Seconds an idle persistent connection may sit between
+        requests before the server closes it.
+    """
 
     def __init__(
         self,
         service: SimulationService,
         host: str = "127.0.0.1",
         port: int = 8765,
+        *,
+        member: Optional[Any] = None,
+        keep_alive_timeout: float = 75.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.member = member
+        self.keep_alive_timeout = keep_alive_timeout
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
 
     async def start(self) -> None:
         """Bind and start accepting (``port=0`` picks a free port,
@@ -69,38 +107,69 @@ class HttpFrontend:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Unblock handlers parked on an idle keep-alive read; their
+        # readline returns EOF and the handler exits cleanly.
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already-dead socket
+                pass
+        self._connections.clear()
 
     # ------------------------------------------------------------------
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
-            response = await self._respond(reader)
-        except Exception as exc:  # noqa: BLE001 - connection boundary
-            response = ServiceResponse(
-                500,
-                {"status": "error",
-                 "error": f"{type(exc).__name__}: {exc}"},
-            )
-        try:
-            writer.write(_serialize(response))
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass
+            while True:
+                parsed = await self._next_request(reader)
+                if parsed is None:
+                    break  # clean EOF or idle timeout between requests
+                keep_alive = False
+                if isinstance(parsed, ServiceResponse):
+                    response = parsed
+                else:
+                    method, path, body, keep_alive = parsed
+                    try:
+                        response = await self._route(method, path, body)
+                    except Exception as exc:  # noqa: BLE001 - boundary
+                        keep_alive = False
+                        response = ServiceResponse(
+                            500,
+                            {"status": "error",
+                             "error": f"{type(exc).__name__}: {exc}"},
+                        )
+                try:
+                    writer.write(_serialize(response, keep_alive))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+                if not keep_alive:
+                    break
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    async def _respond(
-        self, reader: asyncio.StreamReader
+    async def _next_request(self, reader: asyncio.StreamReader):
+        """One request off a persistent connection: ``None`` on clean
+        EOF/idle-timeout, an error :class:`ServiceResponse`, or
+        ``(method, path, body, keep_alive)``."""
+        try:
+            parsed = await asyncio.wait_for(
+                _read_request(reader), self.keep_alive_timeout
+            )
+        except asyncio.TimeoutError:
+            return None
+        return parsed
+
+    async def _route(
+        self, method: str, path: str, body: bytes
     ) -> ServiceResponse:
-        parsed = await _read_request(reader)
-        if isinstance(parsed, ServiceResponse):
-            return parsed
-        method, path, body = parsed
         if path == "/healthz":
             if method != "GET":
                 return _method_not_allowed("GET")
@@ -108,18 +177,138 @@ class HttpFrontend:
         if path == "/metrics":
             if method != "GET":
                 return _method_not_allowed("GET")
+            if self.member is not None:
+                return ServiceResponse(
+                    200, self.member.metrics_snapshot()
+                )
             return ServiceResponse(200, self.service.metrics_snapshot())
         if path == "/run":
             if method != "POST":
                 return _method_not_allowed("POST")
-            try:
-                payload = json.loads(body.decode("utf-8") or "null")
-                request = SimRequest.from_payload(payload)
-            except (ValueError, ServiceError) as exc:
+            parsed = _parse_request_body(body)
+            if isinstance(parsed, ServiceResponse):
+                return parsed
+            if self.member is not None:
+                return await self.member.submit(parsed)
+            return await self.service.submit(parsed)
+        if path.startswith("/fleet/"):
+            return await self._route_fleet(method, path, body)
+        return ServiceResponse(
+            404, {"status": "error", "error": f"no such path {path!r}"}
+        )
+
+    # ------------------------------------------------------------------
+    async def _route_fleet(
+        self, method: str, path: str, body: bytes
+    ) -> ServiceResponse:
+        member = self.member
+        if member is None:
+            return ServiceResponse(
+                404,
+                {"status": "error",
+                 "error": "this daemon is not a fleet replica"},
+            )
+        if path == "/fleet/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return ServiceResponse(200, await member.fleet_metrics())
+        if path == "/fleet/run":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            parsed = _parse_request_body(body)
+            if isinstance(parsed, ServiceResponse):
+                return parsed
+            return await member.handle_routed(parsed)
+        if path.startswith("/fleet/cache/"):
+            key = path[len("/fleet/cache/"):]
+            if not key:
                 return ServiceResponse(
-                    400, {"status": "error", "error": str(exc)}
+                    404, {"status": "error", "error": "missing key"}
                 )
-            return await self.service.submit(request)
+            if method == "GET":
+                hit, value = member.handle_cache_get(key)
+                if not hit:
+                    return ServiceResponse(
+                        404, {"status": "miss", "key": key}
+                    )
+                return ServiceResponse(
+                    200, {"status": "ok", "key": key, "value": value}
+                )
+            if method == "POST":
+                payload = _parse_json(body)
+                if isinstance(payload, ServiceResponse):
+                    return payload
+                value = payload.get("value")
+                if not isinstance(value, str):
+                    return ServiceResponse(
+                        400,
+                        {"status": "error",
+                         "error": "'value' must be a string"},
+                    )
+                member.handle_cache_put(key, value)
+                return ServiceResponse(200, {"status": "ok"})
+            return _method_not_allowed("GET, POST")
+        if path == "/fleet/steal":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload = _parse_json(body)
+            if isinstance(payload, ServiceResponse):
+                return payload
+            entries = member.handle_steal(
+                str(payload.get("thief", "?")),
+                int(payload.get("max_n", 1)),
+            )
+            return ServiceResponse(
+                200, {"status": "ok", "entries": entries}
+            )
+        if path == "/fleet/stolen":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload = _parse_json(body)
+            if isinstance(payload, ServiceResponse):
+                return payload
+            member.handle_stolen(
+                int(payload.get("entry_id", -1)),
+                int(payload.get("status", 500)),
+                payload.get("payload") or {},
+            )
+            return ServiceResponse(200, {"status": "ok"})
+        if path == "/fleet/join":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload = _parse_json(body)
+            if isinstance(payload, ServiceResponse):
+                return payload
+            host = payload.get("host")
+            port = payload.get("port")
+            if not isinstance(host, str) or not isinstance(port, int):
+                return ServiceResponse(
+                    400,
+                    {"status": "error",
+                     "error": "join needs 'host' (str) and 'port' (int)"},
+                )
+            try:
+                reply = member.handle_join(host, port)
+            except ServiceError as exc:
+                return ServiceResponse(
+                    409, {"status": "error", "error": str(exc)}
+                )
+            return ServiceResponse(200, reply)
+        if path == "/fleet/membership":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            payload = _parse_json(body)
+            if isinstance(payload, ServiceResponse):
+                return payload
+            members = payload.get("members")
+            if not isinstance(members, list):
+                return ServiceResponse(
+                    400,
+                    {"status": "error",
+                     "error": "'members' must be a list"},
+                )
+            member.handle_membership(members)
+            return ServiceResponse(200, {"status": "ok"})
         return ServiceResponse(
             404, {"status": "error", "error": f"no such path {path!r}"}
         )
@@ -128,21 +317,52 @@ class HttpFrontend:
 # ----------------------------------------------------------------------
 # Wire helpers
 # ----------------------------------------------------------------------
+def _parse_json(body: bytes):
+    """Decode a JSON object body, or a ready 400 response."""
+    try:
+        payload = json.loads(body.decode("utf-8") or "null")
+    except ValueError as exc:
+        return ServiceResponse(
+            400, {"status": "error", "error": f"bad JSON body: {exc}"}
+        )
+    if not isinstance(payload, dict):
+        return ServiceResponse(
+            400,
+            {"status": "error", "error": "body must be a JSON object"},
+        )
+    return payload
+
+
+def _parse_request_body(body: bytes):
+    """Decode a body into a :class:`SimRequest`, or a 400 response."""
+    try:
+        payload = json.loads(body.decode("utf-8") or "null")
+        return SimRequest.from_payload(payload)
+    except (ValueError, ServiceError) as exc:
+        return ServiceResponse(
+            400, {"status": "error", "error": str(exc)}
+        )
+
+
 async def _read_request(
     reader: asyncio.StreamReader,
 ):
-    """Parse one HTTP request; returns ``(method, path, body)`` or a
-    ready error :class:`ServiceResponse`."""
+    """Parse one HTTP request; returns ``None`` on clean EOF (client
+    finished with the keep-alive connection), an error
+    :class:`ServiceResponse`, or ``(method, path, body, keep_alive)``."""
     try:
         request_line = await reader.readline()
     except (ConnectionError, OSError):
         request_line = b""
+    if not request_line.strip():
+        return None
     parts = request_line.decode("latin-1").split()
     if len(parts) < 2:
         return ServiceResponse(
             400, {"status": "error", "error": "malformed request line"}
         )
     method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+    version = parts[2].upper() if len(parts) > 2 else "HTTP/1.0"
     headers: Dict[str, str] = {}
     while True:
         line = await reader.readline()
@@ -166,7 +386,12 @@ async def _read_request(
         return ServiceResponse(
             400, {"status": "error", "error": "truncated request body"}
         )
-    return method, path, body
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    return method, path, body, keep_alive
 
 
 def _method_not_allowed(allowed: str) -> ServiceResponse:
@@ -176,7 +401,9 @@ def _method_not_allowed(allowed: str) -> ServiceResponse:
     )
 
 
-def _serialize(response: ServiceResponse) -> bytes:
+def _serialize(
+    response: ServiceResponse, keep_alive: bool = False
+) -> bytes:
     """Render a :class:`ServiceResponse` as an HTTP/1.1 message."""
     body = json.dumps(response.payload).encode("utf-8")
     reason = _REASONS.get(response.status, "Unknown")
@@ -184,7 +411,7 @@ def _serialize(response: ServiceResponse) -> bytes:
         f"HTTP/1.1 {response.status} {reason}",
         "Content-Type: application/json",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
     if response.retry_after is not None:
         headers.append(f"Retry-After: {max(1, round(response.retry_after))}")

@@ -9,6 +9,15 @@ shuts the pool down.  A clean drain exits 0, which is what the CI
 smoke job asserts.  With ``--journal``, accepted bulk requests that
 an *unclean* death (crash, SIGKILL) left unfinished are replayed on
 the next boot — the startup banner reports how many.
+
+Every daemon is a fleet replica (see :mod:`repro.service.fleet`): a
+bare boot is a single-member fleet — behaviorally identical to the
+pre-fleet daemon — and the coordinator other daemons can join.  With
+``--join HOST:PORT`` the boot registers with the coordinator at that
+address, adopts its assigned replica id, and starts serving its share
+of the consistent-hash ring.  The fleet shutdown order extends the
+solo one: stop stealing/granting first, settle the bulk backlog and
+any stolen-out entries, then drain the local service as before.
 """
 
 from __future__ import annotations
@@ -16,8 +25,11 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+from typing import Optional, Tuple
 
+from repro.errors import ServiceError
 from repro.service.daemon import ServiceConfig, SimulationService
+from repro.service.fleet import FleetConfig, FleetMember
 from repro.service.http import HttpFrontend
 
 
@@ -25,13 +37,23 @@ def run_service(
     config: ServiceConfig,
     host: str = "127.0.0.1",
     port: int = 8765,
+    join: Optional[Tuple[str, int]] = None,
 ) -> int:
     """Boot the daemon and block until a termination signal has been
-    handled and the service has drained.  Returns the exit code."""
-    return asyncio.run(_serve(config, host, port))
+    handled and the service has drained.  Returns the exit code.
+
+    ``join=(host, port)`` makes this daemon register with the fleet
+    coordinator at that address instead of coordinating itself.
+    """
+    return asyncio.run(_serve(config, host, port, join))
 
 
-async def _serve(config: ServiceConfig, host: str, port: int) -> int:
+async def _serve(
+    config: ServiceConfig,
+    host: str,
+    port: int,
+    join: Optional[Tuple[str, int]] = None,
+) -> int:
     service = SimulationService(config)
     await service.start()
     if service.journal is not None:
@@ -42,8 +64,34 @@ async def _serve(config: ServiceConfig, host: str, port: int) -> int:
             file=sys.stderr,
             flush=True,
         )
-    frontend = HttpFrontend(service, host, port)
+    member = FleetMember(
+        service, FleetConfig(coordinator=join is None)
+    )
+    await member.start()
+    frontend = HttpFrontend(service, host, port, member=member)
     await frontend.start()
+    member.set_advertise(host, frontend.port)
+    if join is not None:
+        try:
+            reply = await member.join(join[0], join[1])
+        except (ServiceError, OSError) as exc:
+            print(
+                f"repro serve: failed to join fleet at "
+                f"{join[0]}:{join[1]}: {exc}",
+                file=sys.stderr,
+                flush=True,
+            )
+            await frontend.stop()
+            await member.finish_close()
+            await service.stop()
+            return 1
+        print(
+            f"repro serve: joined fleet as {reply['id']} "
+            f"({len(reply['members'])} replica(s), coordinator "
+            f"{join[0]}:{join[1]})",
+            file=sys.stderr,
+            flush=True,
+        )
 
     loop = asyncio.get_running_loop()
     shutdown = asyncio.Event()
@@ -56,16 +104,23 @@ async def _serve(config: ServiceConfig, host: str, port: int) -> int:
     print(
         f"repro serve: listening on http://{host}:{frontend.port} "
         f"(workers={config.workers}, bulk_cap={config.bulk_cap}, "
-        f"scale={config.effective_scale().name})",
+        f"scale={config.effective_scale().name}, "
+        f"replica={member.replica_id})",
         file=sys.stderr,
         flush=True,
     )
     await shutdown.wait()
     print("repro serve: draining...", file=sys.stderr, flush=True)
-    # Refuse new work but keep /healthz `/metrics` observable while
-    # accepted work completes; only then close the listener.
+    # Fleet-aware drain: stop acquiring work (no new backlog entries,
+    # no steals in either direction), settle the backlog and any
+    # stolen-out entries, then run the solo drain — refuse new work
+    # but keep /healthz `/metrics` observable while accepted work
+    # completes; only then close the listener.
+    member.begin_close()
+    await member.wait_idle()
     await service.drain()
     await frontend.stop()
+    await member.finish_close()
     await service.stop()
     counters = service.metrics.counters
     print(

@@ -239,6 +239,31 @@ class RunStore:
         self._memory[key] = value
         self._write_disk(key, value)
 
+    # ------------------------------------------------------------------
+    # Fleet peer surface (see repro.service.fleet)
+    # ------------------------------------------------------------------
+    def peer_get(self, key: str) -> Any:
+        """Serve a fleet peer's cache lookup for ``key``.
+
+        Same memory-then-disk resolution as :meth:`get` but returns the
+        :data:`PEER_MISS` sentinel (not a default) on a miss, so peers
+        can cache ``None`` values faithfully, and counts the lookup in
+        ``counters.peer_gets`` — the replica-side ledger of how much
+        traffic the consistent-hash ring steered here.
+        """
+        self.counters.peer_gets += 1
+        return self.get(key, PEER_MISS)
+
+    def peer_put(self, key: str, value: Any) -> None:
+        """Accept an entry replicated from the fleet replica that
+        computed ``key`` without owning it.  First write wins: the
+        computation is deterministic, so an existing entry is already
+        byte-identical and re-writing it would only churn the disk."""
+        self.counters.peer_puts += 1
+        if key not in self._memory and self._disk_file(key) is None:
+            self.put(key, value)
+
+    # ------------------------------------------------------------------
     def get_or_compute(
         self, payload: Mapping[str, Any], compute: Callable[[], T]
     ) -> T:
@@ -453,6 +478,10 @@ class RunStore:
 
 #: Unique disk-miss sentinel (None is a legal stored value).
 _MISS = object()
+
+#: Public miss sentinel returned by :meth:`RunStore.peer_get` (None is
+#: a legal stored value, so peers need an out-of-band miss marker).
+PEER_MISS = object()
 
 #: Lease-claim sentinel: a live owner already holds the lease.
 _LEASE_BUSY = object()

@@ -1,0 +1,546 @@
+"""Tests for the consistent-hash sharded serving fleet.
+
+Three layers:
+
+* :class:`LocalFleet` (direct-call transport) pins the fleet *logic*
+  — routing by content address, single-member passthrough, peer cache
+  hits/replication, work-stealing with timeout requeue, fleet-level
+  backpressure and metrics aggregation — plus the acceptance property
+  that a fleet sweep is byte-identical to a serial solo run.
+* An in-process HTTP fleet (two real front ends, joined over
+  ``/fleet/join`` with :class:`HttpPeerTransport` peers) pins the
+  wire protocol.
+* One subprocess test boots two real ``repro serve`` daemons with
+  ``--join`` and drives them through :class:`ServiceClient` — the
+  exact deployment shape.
+"""
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import (
+    FleetConfig,
+    FleetMember,
+    HttpFrontend,
+    LocalFleet,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.requests import SimRequest
+from tests.service.conftest import make_service, quick_worker
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _thread_pool(n):
+    return ThreadPoolExecutor(max_workers=n)
+
+
+def _fleet(replicas, **fleet_kwargs):
+    fleet_kwargs.setdefault("steal_interval", 0.01)
+    fleet_kwargs.setdefault("steal_timeout", 5.0)
+    return LocalFleet(
+        replicas,
+        service_config=ServiceConfig(workers=2, bulk_cap=0.5),
+        fleet_config=FleetConfig(**fleet_kwargs),
+        pool_factory=_thread_pool,
+        worker_fn=quick_worker,
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(max_backlog=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(steal_batch=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(steal_interval=0)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(steal_timeout=-1)
+        with pytest.raises(ConfigurationError):
+            LocalFleet(0)
+
+
+class TestSingleMember:
+    def test_passthrough_matches_solo_daemon(self):
+        """A one-replica fleet is behaviorally the solo daemon: same
+        payload shape, same counters, no fleet machinery in the path."""
+        with _fleet(1) as fleet:
+            reply = fleet.run("table1", seed=1)
+            assert reply.ok
+            assert reply.payload["result"] == "rendered table1 seed=1"
+            again = fleet.run("table1", seed=1)
+            assert again.cached
+            counters = fleet.members[0].counters
+            assert counters.forwards == 0
+            assert counters.steals == 0
+            snap = fleet.metrics()
+            assert snap["fleet"]["replica_count"] == 1
+
+
+class TestRouting:
+    def test_requests_route_to_ring_owner(self):
+        """Whatever replica takes the request, the compute lands on
+        the key's ring owner — so a repeat through a *different*
+        replica is a cache hit, not a recompute."""
+        with _fleet(3) as fleet:
+            first = fleet.run("table1", seed=2, via=0)
+            assert first.ok and not first.payload["cached"]
+            for via in (1, 2):
+                again = fleet.run("table1", seed=2, via=via)
+                assert again.ok
+                assert again.payload["cached"]
+            totals = fleet.fleet_metrics()["totals"]
+            assert totals["computes"] == 1
+            assert totals["cache_hits"] == 2
+
+    def test_forward_counter_counts_routing(self):
+        with _fleet(3) as fleet:
+            for seed in range(12):
+                assert fleet.run("table1", seed=seed).ok
+            totals = fleet.fleet_metrics()["totals"]
+            # ~2/3 of 12 keys are owned by a non-receiving replica;
+            # at least one must have forwarded unless the hash is
+            # broken.
+            assert totals["forwards"] > 0
+            assert totals["computes"] == 12
+
+    def test_bulk_sweep_completes_across_replicas(self):
+        with _fleet(3) as fleet:
+            payloads = [
+                {"experiment": "table1", "seed": s, "priority": "bulk"}
+                for s in range(24)
+            ]
+            replies = fleet.run_many(payloads)
+            assert all(r.ok for r in replies)
+            assert [r.payload["seed"] for r in replies] == list(
+                range(24)
+            )
+            totals = fleet.fleet_metrics()["totals"]
+            assert totals["computes"] == 24
+
+
+class TestByteIdentity:
+    def test_fleet_results_identical_to_serial_solo(self):
+        """The acceptance property: a 3-replica concurrent sweep
+        returns byte-identical results to the same sweep run serially
+        on a single daemon."""
+        payloads = [
+            {"experiment": "table1", "seed": s, "priority": "bulk"}
+            for s in range(16)
+        ]
+        with _fleet(1) as solo:
+            serial = [solo.run_many([p])[0] for p in payloads]
+        with _fleet(3) as fleet:
+            swept = fleet.run_many(payloads)
+        assert [r.payload["result"] for r in swept] == [
+            r.payload["result"] for r in serial
+        ]
+        assert [r.payload["key"] for r in swept] == [
+            r.payload["key"] for r in serial
+        ]
+
+
+class TestPeerCache:
+    def test_stolen_compute_checks_owner_cache_and_replicates(self):
+        """Directly exercise the non-owner compute path: a replica
+        computing a key it does not own asks the owner first (miss),
+        computes, and replicates the result into the owner's store."""
+        with _fleet(2) as fleet:
+            m0, m1 = fleet.members
+            request = SimRequest(
+                experiment="table1", seed=90, priority="bulk"
+            )
+            key = request.run_key(m0.service.default_scale)
+            owner = m0.ring.owner(key)
+            other = fleet.members[0 if owner != "r0" else 1]
+            owner_member = m0 if owner == "r0" else m1
+            response = fleet._await(
+                other._run_remote_owned(request, key, owner)
+            )
+            assert response.ok
+            assert other.counters.peer_misses == 1
+            assert other.counters.peer_replications == 1
+            assert owner_member.service.store.counters.peer_puts == 1
+            # Second pass from the other side: the owner's store now
+            # answers, no compute.
+            response2 = fleet._await(
+                other._run_remote_owned(request, key, owner)
+            )
+            assert response2.ok
+            assert response2.payload["cached"]
+            assert response2.payload["peer"] == owner
+            assert other.counters.peer_hits == 1
+
+    def test_cache_handlers_roundtrip(self):
+        with _fleet(2) as fleet:
+            member = fleet.members[0]
+            hit, _ = member.handle_cache_get("nope")
+            assert not hit
+            member.handle_cache_put("k1", "value-1")
+            hit, value = member.handle_cache_get("k1")
+            assert hit and value == "value-1"
+            # peer_put never overwrites (first write wins; values are
+            # immutable so this is only defensive).
+            member.handle_cache_put("k1", "value-2")
+            _, value = member.handle_cache_get("k1")
+            assert value == "value-1"
+            store = member.service.store.counters
+            assert store.peer_gets == 3
+            assert store.peer_puts == 2
+
+
+class TestWorkStealing:
+    def test_idle_replica_steals_queued_bulk(self):
+        """Pile a sweep onto one replica with stealing-friendly keys:
+        idle peers pull from its backlog and the granted/stolen
+        counters reconcile."""
+        with _fleet(3) as fleet:
+            # Build a backlog on r0 by submitting keys r0 owns (so no
+            # forwarding empties it) — find seeds whose keys r0 owns.
+            m0 = fleet.members[0]
+            seeds = []
+            seed = 0
+            while len(seeds) < 12:
+                request = SimRequest(
+                    experiment="table1", seed=seed, priority="bulk"
+                )
+                key = request.run_key(m0.service.default_scale)
+                if m0.ring.owner(key) == "r0":
+                    seeds.append(seed)
+                seed += 1
+            payloads = [
+                {"experiment": "table1", "seed": s, "priority": "bulk"}
+                for s in seeds
+            ]
+            replies = fleet.run_many(payloads, via=0)
+            assert all(r.ok for r in replies)
+            granted = m0.counters.steals_granted
+            stolen = sum(
+                m.counters.steals for m in fleet.members[1:]
+            )
+            assert granted > 0, "no stealing happened"
+            assert granted == stolen
+            assert m0.counters.steal_requeues == 0
+
+    def test_steal_grant_respects_batch_and_flags(self):
+        with _fleet(2, steal_batch=2) as fleet:
+            member = fleet.members[0]
+
+            def setup():
+                member._closing = False
+                for seed in range(5):
+                    request = SimRequest(
+                        experiment="table1",
+                        seed=seed,
+                        priority="bulk",
+                    )
+                    entry = member._new_entry(request, f"key-{seed}")
+                    member._backlog.append(entry)
+                member._backlog[-1].stealable = False
+                return member.handle_steal("r1", 10)
+
+            granted = fleet._await(_as_coro(setup))
+            # batch cap (2) binds before max_n (10); the unstealable
+            # tail entry is skipped.
+            assert len(granted) == 2
+            assert member.counters.steals_granted == 2
+            assert len(member._stolen_out) == 2
+            assert len(member._backlog) == 3
+            # Settle the parked entries so teardown's wait_idle is
+            # clean.
+            for rec in granted:
+                fleet._await(
+                    _as_coro(
+                        lambda rec=rec: member.handle_stolen(
+                            rec["entry_id"], 200, {"status": "ok"}
+                        )
+                    )
+                )
+            fleet._await(_as_coro(lambda: member._backlog.clear()))
+
+    def test_steal_timeout_requeues_entry(self):
+        """A thief that never reports: the victim's deadline fires,
+        the entry re-enters the backlog, and the original waiter
+        still gets an answer."""
+        with _fleet(2, steal_timeout=0.2) as fleet:
+            member = fleet.members[0]
+            # Stop the real pump/steal loops from touching the entry
+            # until the deadline fires, by granting it to a fake
+            # thief by hand.
+            done = []
+
+            def grab():
+                request = SimRequest(
+                    experiment="table1", seed=777, priority="bulk"
+                )
+                key = request.run_key(member.service.default_scale)
+                entry = member._new_entry(request, key)
+                entry.future = member._loop.create_future()
+                entry.future.add_done_callback(done.append)
+                member._backlog.append(entry)
+                granted = member.handle_steal("ghost", 1)
+                assert len(granted) == 1
+                return granted
+
+            fleet._await(_as_coro(grab))
+            deadline = time.monotonic() + 5.0
+            while not done and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert done, "requeued entry never completed"
+            response = done[0].result()
+            assert response.ok
+            assert member.counters.steal_requeues == 1
+
+    def test_draining_member_grants_nothing(self):
+        with _fleet(2) as fleet:
+            member = fleet.members[0]
+
+            def check():
+                request = SimRequest(
+                    experiment="table1", seed=5, priority="bulk"
+                )
+                entry = member._new_entry(request, "some-key")
+                member._backlog.append(entry)
+                member._closing = True
+                granted = member.handle_steal("r1", 4)
+                member._closing = False
+                member._backlog.clear()
+                return granted
+
+            assert fleet._await(_as_coro(check)) == []
+
+
+class TestBackpressure:
+    def test_backlog_bound_bounces_429(self):
+        with _fleet(2, max_backlog=2) as fleet:
+            member = fleet.members[0]
+
+            async def overfill():
+                # Pre-fill the backlog past the bound with inert
+                # entries, then submit a key this replica owns.
+                m0 = member
+                for i in range(2):
+                    request = SimRequest(
+                        experiment="table1",
+                        seed=1000 + i,
+                        priority="bulk",
+                    )
+                    m0._backlog.append(
+                        m0._new_entry(request, f"inert-{i}")
+                    )
+                # Keep the pump from draining them mid-test.
+                m0._pump_inflight = m0.service.bulk_slots()
+                seed = 0
+                while True:
+                    request = SimRequest(
+                        experiment="table1",
+                        seed=2000 + seed,
+                        priority="bulk",
+                    )
+                    key = request.run_key(m0.service.default_scale)
+                    if m0.ring.owner(key) == m0.replica_id:
+                        break
+                    seed += 1
+                response = await m0.handle_owned(request, key)
+                m0._pump_inflight = 0
+                m0._backlog.clear()
+                return response
+
+            response = fleet._await(overfill())
+            assert response.status == 429
+            assert response.payload["retry_after_s"] >= 1.0
+            assert member.counters.rejections == 1
+
+
+class TestMetrics:
+    def test_snapshot_has_fleet_section(self):
+        with _fleet(3) as fleet:
+            snap = fleet.metrics(via=1)
+            fl = snap["fleet"]
+            assert fl["replica_id"] == "r1"
+            assert fl["replica_count"] == 3
+            assert fl["replicas"] == ["r0", "r1", "r2"]
+            assert fl["backlog_depth"] == 0
+            assert fl["stolen_outstanding"] == 0
+
+    def test_fleet_metrics_aggregates_all_replicas(self):
+        with _fleet(2) as fleet:
+            fleet.run("table1", seed=8)
+            agg = fleet.fleet_metrics()
+            assert agg["replica_count"] == 2
+            assert sorted(agg["replicas"]) == ["r0", "r1"]
+            assert agg["totals"]["requests"] >= 1
+            for name in (
+                "forwards",
+                "peer_hits",
+                "peer_misses",
+                "peer_replications",
+                "steals",
+                "steals_granted",
+                "steal_requeues",
+            ):
+                assert name in agg["totals"]
+
+
+class TestHttpFleet:
+    """Two real HTTP front ends joined over the wire protocol."""
+
+    def test_join_route_and_ring_convergence(self):
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+
+        def call(coro, timeout=30.0):
+            return asyncio.run_coroutine_threadsafe(
+                coro, loop
+            ).result(timeout)
+
+        services = [make_service() for _ in range(2)]
+        members = []
+        frontends = []
+        try:
+            for i, service in enumerate(services):
+                call(service.start())
+                member = FleetMember(
+                    service,
+                    FleetConfig(
+                        coordinator=i == 0,
+                        steal_interval=0.01,
+                        steal_timeout=5.0,
+                    ),
+                )
+                call(member.start())
+                frontend = HttpFrontend(service, port=0, member=member)
+                call(frontend.start())
+                member.set_advertise("127.0.0.1", frontend.port)
+                members.append(member)
+                frontends.append(frontend)
+            reply = call(
+                members[1].join("127.0.0.1", frontends[0].port)
+            )
+            assert reply["id"] == "r1"
+            assert len(reply["members"]) == 2
+            # Both rings converged on the same membership.
+            assert members[0].ring.replicas == ["r0", "r1"]
+            assert members[1].ring.replicas == ["r0", "r1"]
+            # A request through either port computes once; the repeat
+            # through the *other* port is a cache hit.
+            c0 = ServiceClient(port=frontends[0].port)
+            c1 = ServiceClient(port=frontends[1].port)
+            first = c0.run("table1", seed=55)
+            assert first.ok and not first.cached
+            again = c1.run("table1", seed=55)
+            assert again.ok and again.cached
+            # Fleet metrics aggregate over HTTP.
+            agg = c0.fleet_metrics()
+            assert agg.ok
+            assert agg.payload["replica_count"] == 2
+            assert agg.payload["totals"]["computes"] == 1
+            # A second join against the NON-coordinator is refused.
+            with pytest.raises(ServiceError, match="coordinator"):
+                call(members[0].peers["r1"].join("127.0.0.1", 1))
+            c0.close()
+            c1.close()
+        finally:
+            for member in members:
+                member.begin_close()
+            for member in members:
+                try:
+                    call(member.wait_idle(timeout=10.0))
+                except ServiceError:
+                    pass
+            for frontend in frontends:
+                call(frontend.stop())
+            for member in members:
+                call(member.finish_close())
+            for service in services:
+                call(service.stop())
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10.0)
+            loop.close()
+
+
+class TestSubprocessFleet:
+    def test_two_daemons_join_and_share_cache(self, tmp_path):
+        """The deployment shape: two ``repro serve`` subprocesses,
+        the second with ``--join``, sharing one fleet."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+
+        def spawn(port, extra):
+            return subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "serve",
+                    "--scale", "quick", "--port", str(port),
+                    "--workers", "1", "--bulk-cap", "1.0",
+                ]
+                + extra,
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+
+        port_a, port_b = _free_port(), _free_port()
+        proc_a = spawn(port_a, [])
+        client_a = ServiceClient(port=port_a, timeout=60.0)
+        proc_b = None
+        try:
+            client_a.wait_until_healthy(timeout=30.0)
+            proc_b = spawn(
+                port_b, ["--join", f"127.0.0.1:{port_a}"]
+            )
+            client_b = ServiceClient(port=port_b, timeout=60.0)
+            client_b.wait_until_healthy(timeout=30.0)
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                agg = client_a.fleet_metrics()
+                if agg.ok and agg.payload["replica_count"] == 2:
+                    break
+                time.sleep(0.2)
+            assert agg.payload["replica_count"] == 2
+            first = client_a.run("table1", seed=3)
+            assert first.ok, first.payload
+            again = client_b.run("table1", seed=3)
+            assert again.ok
+            assert again.cached
+            totals = client_a.fleet_metrics().payload["totals"]
+            assert totals["computes"] == 1
+            client_b.close()
+        finally:
+            client_a.close()
+            for proc in (proc_b, proc_a):
+                if proc is None:
+                    continue
+                proc.send_signal(signal.SIGTERM)
+            for proc in (proc_b, proc_a):
+                if proc is None:
+                    continue
+                try:
+                    assert proc.wait(timeout=30.0) == 0
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    raise
+
+
+# ----------------------------------------------------------------------
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def _as_coro(fn):
+    return fn()

@@ -172,12 +172,38 @@ class TestWireLevel:
         )
         assert raw.startswith(b"HTTP/1.1 400")
 
-    def test_responses_declare_close_and_json(self, served):
+    def test_http11_keeps_alive_and_declares_it(self, served):
         raw = served.raw(b"GET /healthz HTTP/1.1\r\n\r\n")
         head, _, body = raw.partition(b"\r\n\r\n")
         assert b"Content-Type: application/json" in head
-        assert b"Connection: close" in head
+        assert b"Connection: keep-alive" in head
         assert json.loads(body)["status"] == "ok"
+
+    def test_connection_close_honored(self, served):
+        raw = served.raw(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        head, _, _ = raw.partition(b"\r\n\r\n")
+        assert b"Connection: close" in head
+
+    def test_http10_closes_by_default(self, served):
+        raw = served.raw(b"GET /healthz HTTP/1.0\r\n\r\n")
+        head, _, _ = raw.partition(b"\r\n\r\n")
+        assert b"Connection: close" in head
+
+    def test_two_requests_one_connection(self, served):
+        """Keep-alive actually reuses the socket: two requests go in
+        one connection and both answers come back on it."""
+        with socket.create_connection(
+            ("127.0.0.1", served.frontend.port), timeout=10.0
+        ) as sock:
+            message = b"GET /healthz HTTP/1.1\r\n\r\n"
+            sock.sendall(message)
+            first = _read_one_response(sock)
+            sock.sendall(message)
+            second = _read_one_response(sock)
+        assert first.startswith(b"HTTP/1.1 200")
+        assert second.startswith(b"HTTP/1.1 200")
 
 
 class TestBackpressureHeaders:
@@ -218,6 +244,64 @@ class TestBackpressureHeaders:
             assert sorted(r.status for r in results) == [200, 200]
         finally:
             fixture.close()
+
+
+class TestClientKeepAlive:
+    def test_persistent_connection_reused(self, served):
+        """Sequential calls ride one socket: after the first call the
+        client holds a connection, and the daemon sees exactly one
+        accepted connection for all three."""
+        for seed in (61, 62, 63):
+            assert served.client.run("table1", seed=seed).ok
+        assert getattr(served.client._local, "conn", None) is not None
+        assert len(served.frontend._connections) == 1
+        served.client.close()
+        assert getattr(served.client._local, "conn", None) is None
+
+    def test_keep_alive_false_closes_per_call(self, served):
+        client = ServiceClient(
+            port=served.frontend.port, keep_alive=False
+        )
+        assert client.healthz().ok
+        assert getattr(client._local, "conn", None) is None
+
+    def test_retry_once_after_daemon_restart(self, served):
+        """Regression: a persistent connection severed by a daemon
+        restart must not surface as an error — the client retries
+        once on the reset and the resubmission is absorbed by the
+        content-addressed cache."""
+        first = served.client.run("table1", seed=71)
+        assert first.ok and not first.cached
+        # Restart the front end on the same port: every persistent
+        # connection (including the client's) is closed.
+        port = served.frontend.port
+        served.call(served.frontend.stop())
+        served.frontend = HttpFrontend(
+            served.service, port=port
+        )
+        served.call(served.frontend.start())
+        again = served.client.run("table1", seed=71)
+        assert again.ok
+        assert again.cached  # same computation, served from store
+
+    def test_timeout_is_not_retried(self, served):
+        """A slow server surfaces as a timeout, not a doubled wait."""
+        import time
+
+        gate = threading.Event()
+
+        def stalled(name, scale, store_path, check):
+            gate.wait(5.0)
+            return "late"
+
+        served.service._worker_fn = stalled
+        client = ServiceClient(port=served.frontend.port, timeout=0.5)
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            client.run("table1", seed=72)
+        elapsed = time.monotonic() - start
+        gate.set()
+        assert elapsed < 2.0  # one timeout's worth, not two
 
 
 class TestClientSurface:
@@ -265,6 +349,27 @@ class TestInProcessClient:
             counters = client.service.metrics.counters
             assert counters.computes == 1
             assert counters.coalesced_hits == 4
+
+
+def _read_one_response(sock: socket.socket) -> bytes:
+    """Read exactly one HTTP response off a keep-alive socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
 
 
 def _thread_pool(n):

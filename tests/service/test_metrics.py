@@ -65,6 +65,33 @@ class TestServiceCounters:
         assert c.as_dict()["admits"] == 1
         assert list(c.as_dict())[0] == "requests"
 
+    def test_fleet_fields_present_and_zeroed(self):
+        """The /metrics surface the fleet aggregation sums over —
+        clients key on these names, so their presence is contract."""
+        counters = ServiceCounters().as_dict()
+        for name in (
+            "forwards",
+            "peer_hits",
+            "peer_misses",
+            "peer_replications",
+            "steals",
+            "steals_granted",
+            "steal_requeues",
+        ):
+            assert counters[name] == 0
+
+    def test_fleet_fields_merge_additively(self):
+        a = ServiceCounters(forwards=2, steals=1, peer_hits=3)
+        b = ServiceCounters(
+            forwards=1, steals_granted=4, steal_requeues=2
+        )
+        a.merge(b)
+        assert a.forwards == 3
+        assert a.steals == 1
+        assert a.peer_hits == 3
+        assert a.steals_granted == 4
+        assert a.steal_requeues == 2
+
 
 class TestServiceMetrics:
     def test_snapshot_shape(self):

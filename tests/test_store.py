@@ -69,6 +69,31 @@ class TestMemoryLayer:
         assert a is not b
 
 
+class TestPeerHooks:
+    def test_peer_get_counts_and_distinguishes_none(self):
+        from repro.store import PEER_MISS
+
+        store = RunStore()
+        key = store.key({"kind": "peer"})
+        assert store.peer_get(key) is PEER_MISS
+        store.put(key, None)  # None is a legal stored value...
+        assert store.peer_get(key) is None  # ...and not a miss
+        assert store.counters.peer_gets == 2
+
+    def test_peer_put_is_first_write_wins(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = store.key({"kind": "peer-put"})
+        store.peer_put(key, "original")
+        store.peer_put(key, "late-duplicate")
+        assert store.get(key) == "original"
+        assert store.counters.peer_puts == 2
+        # A disk-resident entry also blocks the overwrite, even when
+        # memory was cleared (fresh replica, warm disk).
+        other = RunStore(tmp_path)
+        other.peer_put(key, "other-process-duplicate")
+        assert other.get(key) == "original"
+
+
 class TestDiskLayer:
     def test_cross_store_roundtrip(self, tmp_path):
         payload = {"kind": "test", "v": [1, 2.5]}
