@@ -20,7 +20,11 @@
   and retrying their requests.  ``--join HOST:PORT`` federates this
   daemon into the fleet coordinated by the daemon at that address
   (consistent-hash routing, peer caching, work-stealing bulk sweeps;
-  see :mod:`repro.service.fleet`).
+  see :mod:`repro.service.fleet`).  ``--tenant-quota
+  INFLIGHT[:SHARE]`` bounds each tenant's in-flight dispatches and
+  bulk-queue share; ``--autoscale MIN:MAX`` lets the daemon grow and
+  shrink its worker pool against the bulk-cap utilization signal
+  (see :mod:`repro.service.tenancy`).
 
 ``--store DIR`` persists every simulation run content-addressed under
 DIR, so repeated invocations (and parallel workers) reuse each other's
@@ -198,6 +202,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serving.add_argument(
+        "--tenant-quota",
+        default=None,
+        metavar="INFLIGHT[:SHARE]",
+        help=(
+            "per-tenant admission quota: at most INFLIGHT dispatches "
+            "in the pool per tenant (bulk over it defers in queue, "
+            "interactive over it bounces 429), and at most "
+            "SHARE (0, 1] of the bulk queue per tenant before its "
+            "bulk arrivals bounce 429 (default SHARE: 0.5; default: "
+            "no quota)"
+        ),
+    )
+    serving.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="MIN:MAX",
+        help=(
+            "cap-aware worker autoscaling: grow the worker pool "
+            "toward MAX while bulk work is deferred by the "
+            "utilization cap, shrink toward MIN when the queue is "
+            "empty and utilization is low (default: fixed pool of "
+            "--workers)"
+        ),
+    )
+    serving.add_argument(
         "--request-timeout",
         type=float,
         default=None,
@@ -241,7 +270,11 @@ def main(argv=None) -> int:
             )
     scale = SCALES[args.scale] if args.scale else current_scale()
     if args.experiment == "serve":
-        from repro.service import ServiceConfig, run_service
+        from repro.service import (
+            ServiceConfig,
+            TenantQuota,
+            run_service,
+        )
 
         if args.jobs != 1:
             parser.error("'serve' sizes its pool with --workers, "
@@ -253,6 +286,19 @@ def main(argv=None) -> int:
                 parser.error("--join expects HOST:PORT, e.g. "
                              "--join 127.0.0.1:8765")
             join = (join_host, int(join_port))
+        tenant_quota = None
+        if args.tenant_quota is not None:
+            try:
+                tenant_quota = TenantQuota.parse(args.tenant_quota)
+            except ConfigurationError as exc:
+                parser.error(str(exc))
+        autoscale_min = autoscale_max = None
+        if args.autoscale is not None:
+            low, sep, high = args.autoscale.partition(":")
+            if not sep or not low.isdigit() or not high.isdigit():
+                parser.error("--autoscale expects MIN:MAX, e.g. "
+                             "--autoscale 1:8")
+            autoscale_min, autoscale_max = int(low), int(high)
         config = ServiceConfig(
             workers=args.workers,
             bulk_cap=args.bulk_cap,
@@ -262,6 +308,9 @@ def main(argv=None) -> int:
             check_invariants=args.check_invariants,
             journal_path=args.journal,
             request_timeout=args.request_timeout,
+            tenant_quota=tenant_quota,
+            autoscale_min=autoscale_min,
+            autoscale_max=autoscale_max,
         )
         return run_service(
             config, host=args.host, port=args.port, join=join

@@ -19,7 +19,12 @@ so ``repro.sim`` (and everything above it) can import ``repro.obs``
 freely.
 """
 
-from repro.obs.counters import Counters, ServiceCounters, StoreCounters
+from repro.obs.counters import (
+    Counters,
+    ServiceCounters,
+    StoreCounters,
+    TenantCounters,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlRecorder,
@@ -34,6 +39,7 @@ __all__ = [
     "Counters",
     "ServiceCounters",
     "StoreCounters",
+    "TenantCounters",
     "TraceRecord",
     "TraceRecorder",
     "NullRecorder",

@@ -166,6 +166,60 @@ class StoreCounters:
 
 
 @dataclass
+class TenantCounters:
+    """Per-tenant request counters for the serving daemon's
+    multi-tenant admission layer (:mod:`repro.service.tenancy`).
+
+    Same contract as :class:`Counters` — always on, additive
+    :meth:`merge`, stable :meth:`as_dict` order.  One instance exists
+    per tenant id seen by a replica; ``/metrics`` surfaces them under
+    a ``tenants`` section and ``/fleet/metrics`` sums them across
+    replicas.
+
+    Attributes
+    ----------
+    requests:
+        Requests received from this tenant (every class and outcome).
+    accepted:
+        Requests admitted past backpressure (served from cache,
+        coalesced, or dispatched).
+    completed:
+        Requests that returned a result (cache, coalesce, or compute).
+    computes:
+        Computations dispatched to the worker pool for this tenant.
+    rejections:
+        Requests bounced with 429 backpressure, any reason.
+    quota_rejections:
+        The subset of ``rejections`` caused by this tenant's own
+        quota (max in-flight or max backlog share).
+    failures:
+        Dispatched computations that raised terminally.
+    """
+
+    requests: int = 0
+    accepted: int = 0
+    completed: int = 0
+    computes: int = 0
+    rejections: int = 0
+    quota_rejections: int = 0
+    failures: int = 0
+
+    def merge(self, other: "TenantCounters") -> "TenantCounters":
+        """Add ``other``'s counts into this registry; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field -> value mapping in declaration order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __bool__(self) -> bool:
+        """True when any counter is non-zero."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass
 class ServiceCounters:
     """Integer request counters for the serving daemon
     (:mod:`repro.service`), surfaced by its ``/metrics`` endpoint.
@@ -235,6 +289,15 @@ class ServiceCounters:
     steal_requeues:
         Stolen entries re-enqueued locally because the thief never
         reported a result within the steal deadline.
+    quota_rejections:
+        Requests bounced because the *tenant* was over its quota
+        (max in-flight or max backlog share); a subset of neither
+        ``rejections`` nor ``drain_rejections`` — quota bounces are
+        counted here and in ``rejections`` both, so ``rejections``
+        stays the total 429 count.
+    scale_ups, scale_downs:
+        Worker-pool resizes by the cap-aware autoscaler (or a manual
+        ``resize_workers`` call), by direction.
     """
 
     requests: int = 0
@@ -260,6 +323,9 @@ class ServiceCounters:
     steals: int = 0
     steals_granted: int = 0
     steal_requeues: int = 0
+    quota_rejections: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     def merge(self, other: "ServiceCounters") -> "ServiceCounters":
         """Add ``other``'s counts into this registry; returns self."""

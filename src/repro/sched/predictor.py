@@ -50,15 +50,28 @@ class PerUserRuntimePredictor:
 
     def observe(self, job: Job) -> None:
         """Learn from a completed job's actual/estimated ratio."""
-        if job.estimate <= 0.0:
+        self.observe_ratio(job.user, job.runtime, job.estimate)
+
+    def observe_ratio(self, user: str, actual: float, estimate: float) -> None:
+        """Learn from a raw ``(actual, estimate)`` pair.
+
+        The generalization :meth:`observe` is built on: callers outside
+        the simulator (the serving daemon's tenancy layer charges
+        request service times against quoted estimates) have no
+        :class:`~repro.jobs.Job` — and a job's ``estimate >= runtime``
+        invariant would not hold for them anyway, since a request can
+        run *longer* than quoted.  Ratios above 1.0 are learned as-is;
+        only the floor clamp applies.
+        """
+        if estimate <= 0.0:
             return
         self.version += 1
-        ratio = max(self.floor_ratio, job.runtime / job.estimate)
-        previous = self._ratio.get(job.user)
+        ratio = max(self.floor_ratio, actual / estimate)
+        previous = self._ratio.get(user)
         if previous is None:
-            self._ratio[job.user] = ratio
+            self._ratio[user] = ratio
         else:
-            self._ratio[job.user] = (
+            self._ratio[user] = (
                 self.alpha * ratio + (1.0 - self.alpha) * previous
             )
 

@@ -38,6 +38,7 @@ from repro.service.http import HttpFrontend
 from repro.service.metrics import LatencyStats, ServiceMetrics, percentile
 from repro.service.requests import (
     BULK,
+    DEFAULT_TENANT,
     INTERACTIVE,
     PRIORITIES,
     ServiceResponse,
@@ -50,6 +51,14 @@ from repro.service.resilience import (
 )
 from repro.service.ring import DEFAULT_VNODES, HashRing
 from repro.service.runner import run_service
+from repro.service.tenancy import (
+    DEFAULT_TENANT_HALF_LIFE_S,
+    DEFAULT_WAIT_NORM_S,
+    TenantAdmission,
+    TenantFairQueue,
+    TenantQuota,
+    WorkerAutoscaler,
+)
 
 __all__ = [
     "DEFAULT_VNODES",
@@ -60,6 +69,7 @@ __all__ = [
     "LocalFleet",
     "LocalTransport",
     "BULK",
+    "DEFAULT_TENANT",
     "INTERACTIVE",
     "PRIORITIES",
     "SimRequest",
@@ -76,5 +86,11 @@ __all__ = [
     "BulkJournal",
     "WorkerSupervisor",
     "DEFAULT_SERVICE_RETRY",
+    "DEFAULT_TENANT_HALF_LIFE_S",
+    "DEFAULT_WAIT_NORM_S",
+    "TenantAdmission",
+    "TenantFairQueue",
+    "TenantQuota",
+    "WorkerAutoscaler",
     "run_service",
 ]

@@ -101,6 +101,12 @@ class ServiceClient:
         False every call opens and closes its own connection — the
         pre-keep-alive behavior, kept for measurement and for
         pathological middleboxes.
+    tenant:
+        Tenant id this client submits as, sent as the
+        ``X-Repro-Tenant`` header on every request.  ``None`` (the
+        default) submits without one — the daemon attributes those to
+        its default tenant.  A per-call ``tenant=`` on :meth:`run`
+        overrides it for that request.
     """
 
     def __init__(
@@ -110,11 +116,13 @@ class ServiceClient:
         timeout: float = 300.0,
         *,
         keep_alive: bool = True,
+        tenant: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.keep_alive = keep_alive
+        self.tenant = tenant
         self._local = threading.local()
 
     def close(self) -> None:
@@ -132,6 +140,7 @@ class ServiceClient:
         scale: Optional[str] = None,
         seed: Optional[int] = None,
         priority: str = "interactive",
+        tenant: Optional[str] = None,
     ) -> ServiceReply:
         """Submit one simulation request and wait for its reply."""
         body = {
@@ -140,6 +149,8 @@ class ServiceClient:
             "seed": seed,
             "priority": priority,
         }
+        if tenant is not None:
+            body["tenant"] = tenant
         return self._call("POST", "/run", body)
 
     def run_many(
@@ -203,6 +214,8 @@ class ServiceClient:
             None if body is None else json.dumps(body).encode("utf-8")
         )
         headers = {"Content-Type": "application/json"} if payload else {}
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
         if not self.keep_alive:
             conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
@@ -292,9 +305,14 @@ class InProcessClient:
         scale: Optional[str] = None,
         seed: Optional[int] = None,
         priority: str = "interactive",
+        tenant: Optional[str] = None,
     ) -> ServiceReply:
         request = SimRequest(
-            experiment=experiment, scale=scale, seed=seed, priority=priority
+            experiment=experiment,
+            scale=scale,
+            seed=seed,
+            priority=priority,
+            tenant=tenant,
         )
         response = self._await(self._service.submit(request))
         return ServiceReply(response.status, response.payload)

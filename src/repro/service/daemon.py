@@ -11,7 +11,12 @@ request queue:
   queue and are admitted one at a time, only while admitting one more
   job keeps pool utilization at or below ``bulk_cap`` — the service
   scheduling its own interstices, exactly the Table 8 utilization-cap
-  loop at request granularity.
+  loop at request granularity;
+* **tenants** are the users: the bulk queue is per-tenant fair-share
+  lanes (:mod:`repro.service.tenancy`) charged with actual service
+  time, Retry-After is quoted from each tenant's predicted backlog
+  drain, quotas bound any one tenant's footprint, and an optional
+  autoscaler grows/shrinks the pool against the cap signal.
 
 Layered on top of admission:
 
@@ -48,10 +53,9 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Optional, Set
+from typing import Any, Callable, Dict, Optional, Set
 
 from repro.errors import ConfigurationError, DeadLetterError, ServiceError
 from repro.experiments.config import ExperimentScale, current_scale
@@ -71,6 +75,12 @@ from repro.service.resilience import (
     FAILED,
     BulkJournal,
     WorkerSupervisor,
+)
+from repro.service.tenancy import (
+    DEFAULT_TENANT_HALF_LIFE_S,
+    TenantAdmission,
+    TenantQuota,
+    WorkerAutoscaler,
 )
 from repro.store import RunStore, content_key
 from repro.version import repro_version
@@ -122,6 +132,18 @@ class ServiceConfig:
         Stale-lease timeout for the run store's cross-process
         computation leases; ``None`` defers to ``REPRO_LEASE_TIMEOUT``
         or the store default.
+    tenant_quota:
+        Optional per-tenant admission limits (max in-flight dispatches
+        plus max bulk-queue share); ``None`` leaves tenants bounded
+        only by fair-share scheduling.
+    tenant_half_life_s:
+        Fair-share usage half-life for tenant scheduling, in seconds.
+    autoscale_min, autoscale_max:
+        Worker-pool bounds for the cap-aware autoscaler.  Both set
+        enables it (``workers`` is the starting size and must lie in
+        the range); both ``None`` (default) keeps the pool fixed.
+    autoscale_interval:
+        Autoscaler control-loop tick period in seconds.
     """
 
     workers: int = 2
@@ -136,6 +158,11 @@ class ServiceConfig:
     retry: RetryPolicy = DEFAULT_SERVICE_RETRY
     heartbeat_interval: Optional[float] = None
     lease_timeout: Optional[float] = None
+    tenant_quota: Optional[TenantQuota] = None
+    tenant_half_life_s: float = DEFAULT_TENANT_HALF_LIFE_S
+    autoscale_min: Optional[int] = None
+    autoscale_max: Optional[int] = None
+    autoscale_interval: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -167,6 +194,34 @@ class ServiceConfig:
         if self.lease_timeout is not None and self.lease_timeout <= 0:
             raise ConfigurationError(
                 f"lease_timeout must be positive: {self.lease_timeout}"
+            )
+        if self.tenant_half_life_s <= 0:
+            raise ConfigurationError(
+                f"tenant_half_life_s must be positive: "
+                f"{self.tenant_half_life_s}"
+            )
+        if (self.autoscale_min is None) != (self.autoscale_max is None):
+            raise ConfigurationError(
+                "autoscale_min and autoscale_max must be set together"
+            )
+        if self.autoscale_min is not None:
+            if not (1 <= self.autoscale_min <= self.autoscale_max):
+                raise ConfigurationError(
+                    f"autoscale bounds must satisfy 1 <= min <= max: "
+                    f"{self.autoscale_min}:{self.autoscale_max}"
+                )
+            if not (
+                self.autoscale_min <= self.workers <= self.autoscale_max
+            ):
+                raise ConfigurationError(
+                    f"workers ({self.workers}) must start inside the "
+                    f"autoscale range "
+                    f"{self.autoscale_min}:{self.autoscale_max}"
+                )
+        if self.autoscale_interval <= 0:
+            raise ConfigurationError(
+                f"autoscale_interval must be positive: "
+                f"{self.autoscale_interval}"
             )
 
     def effective_scale(self) -> ExperimentScale:
@@ -209,9 +264,27 @@ class SimulationService:
         self._admission_task: Optional[asyncio.Task] = None
         #: content key -> future resolving to ("ok", text) | ("error", msg)
         self._inflight: Dict[str, asyncio.Future] = {}
-        self._bulk_queue: Deque[asyncio.Event] = deque()
+        self.tenancy = TenantAdmission(
+            quota=config.tenant_quota,
+            half_life_s=config.tenant_half_life_s,
+        )
+        #: The bulk backlog: per-tenant fair-share lanes of admission
+        #: tickets (each ticket's item is an ``asyncio.Event``).
+        self._bulk_queue = self.tenancy.queue
+        self.autoscaler: Optional[WorkerAutoscaler] = None
+        if config.autoscale_min is not None:
+            self.autoscaler = WorkerAutoscaler(
+                self,
+                config.autoscale_min,
+                config.autoscale_max,
+                interval=config.autoscale_interval,
+            )
+        self._autoscale_task: Optional[asyncio.Task] = None
         self._replay_tasks: Set[asyncio.Task] = set()
         self._journal_sync_fut: Optional[asyncio.Future] = None
+        #: Current pool size; starts at ``config.workers`` and moves
+        #: only via :meth:`resize_workers`.
+        self._workers = config.workers
         self._busy = 0
         self._draining = False
         self._stopping = False
@@ -230,7 +303,7 @@ class SimulationService:
         self._cond = asyncio.Condition()
         self.supervisor = WorkerSupervisor(
             self._pool_factory,
-            self.config.workers,
+            self._workers,
             counters=self.metrics.counters,
             retry=self.config.retry,
             request_timeout=self.config.request_timeout,
@@ -240,6 +313,10 @@ class SimulationService:
         self._admission_task = self._loop.create_task(
             self._admission_loop()
         )
+        if self.autoscaler is not None:
+            self._autoscale_task = self._loop.create_task(
+                self.autoscaler.run()
+            )
         self._started_at = time.monotonic()
         if self.journal is not None:
             self._replay_journal()
@@ -256,6 +333,13 @@ class SimulationService:
         """Drain, stop the admission loop and shut the pool down."""
         await self.drain()
         self._stopping = True
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                pass
+            self._autoscale_task = None
         async with self._cond:
             self._cond.notify_all()
         if self._admission_task is not None:
@@ -309,6 +393,9 @@ class SimulationService:
                 scale=entry.get("scale"),
                 seed=entry.get("seed"),
                 priority=BULK,
+                # v1 (pre-tenancy) records have no tenant field and
+                # replay as the default tenant.
+                tenant=entry.get("tenant"),
             )
             scale = request.resolve_scale(self._scale)
         except (ServiceError, KeyError):
@@ -349,10 +436,38 @@ class SimulationService:
         """The scale applied to requests that name none."""
         return self._scale
 
+    @property
+    def workers(self) -> int:
+        """Current worker-pool size (``config.workers`` until an
+        autoscaler or a ``resize_workers`` call moves it)."""
+        return self._workers
+
+    async def resize_workers(self, n: int) -> None:
+        """Resize the supervised pool to ``n`` processes.
+
+        In-flight dispatches finish on the old pool (it is shut down
+        without cancelling); new dispatches land on the replacement.
+        The cap, the backpressure arithmetic, and ``bulk_slots`` all
+        follow the new size immediately, and the admission loop is
+        woken — growing may have opened an interstice.
+        """
+        if n < 1:
+            raise ConfigurationError(f"workers must be >= 1: {n}")
+        if n == self._workers:
+            return
+        if n > self._workers:
+            self.metrics.counters.scale_ups += 1
+        else:
+            self.metrics.counters.scale_downs += 1
+        self._workers = n
+        if self.supervisor is not None:
+            self.supervisor.resize(n)
+        await self._notify()
+
     def utilization(self) -> float:
         """In-flight dispatches over pool size (> 1.0 means the
         executor itself is queueing)."""
-        return self._busy / self.config.workers
+        return self._busy / self._workers
 
     def bulk_queue_depth(self) -> int:
         return len(self._bulk_queue)
@@ -365,7 +480,7 @@ class SimulationService:
         to keep every interstice busy, while the rest of the backlog
         stays outside the admission queue where peers can steal it."""
         return max(
-            1, int(self.config.bulk_cap * self.config.workers + 1e-9)
+            1, int(self.config.bulk_cap * self._workers + 1e-9)
         )
 
     def has_cached(self, key: str) -> bool:
@@ -380,22 +495,29 @@ class SimulationService:
 
     def healthz(self) -> Dict[str, Any]:
         """The ``/healthz`` payload."""
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
             "version": repro_version(),
-            "workers": self.config.workers,
+            "workers": self._workers,
             "bulk_cap": self.config.bulk_cap,
             "scale": self._scale.name,
             "utilization": self.utilization(),
             "bulk_queue_depth": self.bulk_queue_depth(),
             "uptime_s": time.monotonic() - self._started_at,
         }
+        if self.autoscaler is not None:
+            payload["autoscale"] = {
+                "min": self.autoscaler.minimum,
+                "max": self.autoscaler.maximum,
+            }
+        return payload
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The ``/metrics`` payload."""
         snap = self.metrics.snapshot()
         snap["utilization"] = self.utilization()
         snap["busy"] = self._busy
+        snap["workers"] = self._workers
         snap["bulk_queue_depth"] = self.bulk_queue_depth()
         snap["inflight"] = len(self._inflight)
         store = self.store.counters
@@ -436,6 +558,9 @@ class SimulationService:
             counters.bulk_requests += 1
         else:
             counters.interactive_requests += 1
+        tenant = request.effective_tenant
+        tenant_counters = self.metrics.tenant(tenant)
+        tenant_counters.requests += 1
         if self._draining:
             counters.drain_rejections += 1
             return ServiceResponse(
@@ -457,11 +582,14 @@ class SimulationService:
         cached = self.store.get(key, _MISS)
         if cached is not _MISS:
             counters.cache_hits += 1
+            tenant_counters.accepted += 1
+            tenant_counters.completed += 1
             return self._ok(request, scale, key, cached,
                             cached=True, coalesced=False, elapsed=0.0)
 
         if key in self._inflight:
             counters.coalesced_hits += 1
+            tenant_counters.accepted += 1
             # Capture the future before the journal fsync yields: the
             # computation may finish (and pop its inflight entry)
             # during the await.
@@ -474,8 +602,10 @@ class SimulationService:
         rejection = self._backpressure(request)
         if rejection is not None:
             counters.rejections += 1
+            tenant_counters.rejections += 1
             return rejection
 
+        tenant_counters.accepted += 1
         journal_id = await self._journal_accept(request, key)
         # The journal fsync yielded after the inflight check above; a
         # concurrent submit (or journal replay) may have registered
@@ -508,6 +638,7 @@ class SimulationService:
                 500, {"status": "error", "error": value}
             )
         self._journal_settle(journal_id, COMPLETED)
+        self.metrics.tenant(request.effective_tenant).completed += 1
         return self._ok(request, scale, key, value,
                         cached=False, coalesced=True, elapsed=0.0)
 
@@ -524,15 +655,26 @@ class SimulationService:
         exactly one terminal record — except on cancellation, where
         the entry is deliberately left open for the next replay."""
         counters = self.metrics.counters
+        tenant = request.effective_tenant
+        tenant_counters = self.metrics.tenant(tenant)
         future = self._loop.create_future()
         self._inflight[key] = future
         started = time.monotonic()
         try:
             if request.priority == BULK:
-                await self._await_bulk_admission()
+                # The admission grant reserves both the pool slot and
+                # the tenant's in-flight unit.
+                await self._await_bulk_admission(tenant)
             else:
                 self._busy += 1
+                self.tenancy.begin_dispatch(tenant)
             counters.admits += 1
+            # The estimate quoted "on dispatch": the predictor learns
+            # the tenant's actual/quoted ratio against this value.
+            estimate = self.metrics.estimated_service_time(
+                request.priority, tenant
+            )
+            dispatched_at = time.monotonic()
             try:
                 text = await self.supervisor.run(
                     self._worker_fn,
@@ -542,7 +684,13 @@ class SimulationService:
                     self.config.check_invariants,
                 )
             finally:
+                # Pool time is spent whatever the outcome: charge the
+                # tenant's fair-share usage, teach the predictor, and
+                # feed the tenant-scoped service-time reservoir.
+                service_s = time.monotonic() - dispatched_at
                 self._busy -= 1
+                self.tenancy.end_dispatch(tenant, service_s, estimate)
+                self.metrics.record_service_time(tenant, service_s)
                 await self._notify()
         except asyncio.CancelledError:
             # Never strand coalesced waiters on an unresolvable
@@ -553,6 +701,7 @@ class SimulationService:
             raise
         except DeadLetterError as exc:
             counters.failures += 1
+            tenant_counters.failures += 1
             future.set_result(("error", str(exc)))
             self._journal_settle(journal_id, DEAD_LETTERED)
             return ServiceResponse(
@@ -562,6 +711,7 @@ class SimulationService:
             )
         except Exception as exc:  # noqa: BLE001 - boundary to workers
             counters.failures += 1
+            tenant_counters.failures += 1
             future.set_result(("error", f"{type(exc).__name__}: {exc}"))
             self._journal_settle(journal_id, FAILED)
             return ServiceResponse(
@@ -572,6 +722,8 @@ class SimulationService:
         else:
             elapsed = time.monotonic() - started
             counters.computes += 1
+            tenant_counters.computes += 1
+            tenant_counters.completed += 1
             self.store.put(key, text)
             self.metrics.record_latency(request.priority, elapsed)
             future.set_result(("ok", text))
@@ -598,6 +750,7 @@ class SimulationService:
             experiment=request.experiment,
             scale=request.scale,
             seed=request.seed,
+            tenant=request.tenant,
         )
         await self._journal_commit()
         return entry_id
@@ -634,35 +787,43 @@ class SimulationService:
         """Would admitting one more bulk job keep utilization at or
         below the cap?"""
         return (
-            (self._busy + 1) / self.config.workers
+            (self._busy + 1) / self._workers
             <= self.config.bulk_cap + 1e-9
         )
 
-    async def _await_bulk_admission(self) -> None:
-        """Queue a bulk ticket and wait for the admission loop to
-        grant it (the grant reserves the pool slot)."""
-        ticket = asyncio.Event()
+    async def _await_bulk_admission(self, tenant: str) -> None:
+        """Queue a bulk ticket on the tenant's fair-share lane and
+        wait for the admission loop to grant it (the grant reserves
+        the pool slot and the tenant's in-flight unit)."""
+        event = asyncio.Event()
         async with self._cond:
-            self._bulk_queue.append(ticket)
+            self._bulk_queue.push(tenant, event)
             self._cond.notify_all()
-        await ticket.wait()
+        await event.wait()
 
     async def _admission_loop(self) -> None:
         """Grant queued bulk tickets whenever the cap leaves a gap —
-        the service-side interstice scheduler."""
+        the service-side interstice scheduler.  The grant goes to the
+        highest-priority eligible tenant lane (paper-priority order;
+        quota-full tenants defer), not FIFO."""
         while True:
             async with self._cond:
                 while True:
                     if self._stopping and not self._bulk_queue:
                         return
+                    ticket = None
                     if self._bulk_queue and self._cap_allows():
-                        break
+                        ticket = self._bulk_queue.pop(
+                            self.tenancy.eligible
+                        )
+                        if ticket is not None:
+                            break
                     if self._bulk_queue:
                         self.metrics.counters.cap_deferrals += 1
                     await self._cond.wait()
-                ticket = self._bulk_queue.popleft()
                 self._busy += 1  # reserve the slot before handing off
-                ticket.set()
+                self.tenancy.begin_dispatch(ticket.tenant)
+                ticket.item.set()
 
     async def _notify(self) -> None:
         async with self._cond:
@@ -674,35 +835,89 @@ class SimulationService:
     def _backpressure(
         self, request: SimRequest
     ) -> Optional[ServiceResponse]:
-        """A 429-style rejection when the request's queue is full,
-        with ``retry_after`` estimated from queue depth and observed
-        service time."""
+        """A 429-style rejection when the request's queue (or its
+        tenant's quota) is full, with ``retry_after`` priced from the
+        *tenant's* predicted queued work — a tenant the fair-share
+        order favors is quoted a short retry even while the global
+        queue is deep with someone else's flood."""
+        tenant = request.effective_tenant
+        quota = self.config.tenant_quota
         if request.priority == BULK:
-            depth = len(self._bulk_queue)
-            if depth < self.config.max_queue:
+            if quota is not None:
+                limit = quota.max_backlog(self.config.max_queue)
+                queued = self.tenancy.queued_of(tenant)
+                if queued >= limit:
+                    return self._reject_quota(
+                        request,
+                        tenant,
+                        f"tenant {tenant!r} over bulk backlog share "
+                        f"({queued}/{limit} queued)",
+                    )
+            if len(self._bulk_queue) < self.config.max_queue:
                 return None
             label = "bulk queue full"
         else:
-            depth = self._busy - self.config.workers
-            if depth < self.config.max_backlog:
+            if (
+                quota is not None
+                and self.tenancy.inflight_of(tenant)
+                >= quota.max_inflight
+            ):
+                return self._reject_quota(
+                    request,
+                    tenant,
+                    f"tenant {tenant!r} at max in-flight "
+                    f"({quota.max_inflight})",
+                )
+            if self._busy - self._workers < self.config.max_backlog:
                 return None
             label = "interactive backlog full"
-        retry_after = self._retry_after(request.priority, depth)
+        retry_after = self._retry_after(
+            request.priority, self._tenant_depth(tenant), tenant
+        )
         return ServiceResponse(
             429,
-            {"status": "rejected", "error": label,
+            {"status": "rejected", "error": label, "tenant": tenant,
              "retry_after_s": retry_after},
             retry_after=retry_after,
         )
 
-    def _retry_after(self, priority: str, depth: int) -> float:
-        """Expected seconds until the queue has room: depth jobs at
-        the estimated mean service time across ``workers`` lanes.
-        Always finite and >= 1, even on a fresh daemon whose latency
-        reservoirs are empty (the estimate falls back across classes
-        to a sane default)."""
-        mean = self.metrics.estimated_service_time(priority)
-        return max(1.0, max(depth, 0) * mean / self.config.workers)
+    def _reject_quota(
+        self, request: SimRequest, tenant: str, label: str
+    ) -> ServiceResponse:
+        """A tenant-scoped quota 429 (the subset of rejections the
+        tenant brought on itself)."""
+        self.metrics.counters.quota_rejections += 1
+        self.metrics.tenant(tenant).quota_rejections += 1
+        retry_after = self._retry_after(
+            request.priority, self._tenant_depth(tenant), tenant
+        )
+        return ServiceResponse(
+            429,
+            {"status": "rejected", "error": label, "tenant": tenant,
+             "quota": True, "retry_after_s": retry_after},
+            retry_after=retry_after,
+        )
+
+    def _tenant_depth(self, tenant: str) -> int:
+        """The depth term of a tenant-scoped Retry-After: the tenant's
+        own queued + in-flight work, at least 1 (there is always the
+        request being bounced)."""
+        return max(1, self.tenancy.pending_of(tenant))
+
+    def _retry_after(
+        self, priority: str, depth: int, tenant: Optional[str] = None
+    ) -> float:
+        """Expected seconds until ``depth`` jobs drain across
+        ``workers`` lanes, each priced at the predictor-corrected
+        per-request service time.  With a tenant, the base estimate is
+        the tenant's own observed mean scaled by its learned
+        actual/quoted ratio; without one (or before any history), the
+        chain degrades to the pre-tenancy observed-latency heuristic.
+        Always finite and >= 1, even on a fresh daemon whose
+        reservoirs are empty."""
+        base = self.metrics.estimated_service_time(priority, tenant)
+        per_request = self.tenancy.predicted_service_time(tenant, base)
+        return max(1.0, max(depth, 0) * per_request / self._workers)
 
     # ------------------------------------------------------------------
     def _ok(

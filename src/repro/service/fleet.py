@@ -150,12 +150,18 @@ class _BulkEntry:
 
 
 def _request_payload(request: SimRequest) -> Dict[str, Any]:
-    """Wire form of a request (accepted by SimRequest.from_payload)."""
+    """Wire form of a request (accepted by SimRequest.from_payload).
+
+    The tenant id travels with the request: a forwarded or stolen
+    entry is charged to the *originating* tenant's fair-share usage on
+    whichever replica executes it (content addresses still exclude
+    it)."""
     return {
         "experiment": request.experiment,
         "scale": request.scale,
         "seed": request.seed,
         "priority": request.priority,
+        "tenant": request.tenant,
     }
 
 
@@ -308,13 +314,19 @@ class FleetMember:
             except Exception as exc:  # noqa: BLE001 - peer boundary
                 per[rid] = {"error": f"{type(exc).__name__}: {exc}"}
         totals: Dict[str, int] = {}
+        tenant_totals: Dict[str, Dict[str, int]] = {}
         for snap in per.values():
             for name, value in snap.get("counters", {}).items():
                 totals[name] = totals.get(name, 0) + int(value)
+            for tname, tsnap in snap.get("tenants", {}).items():
+                bucket = tenant_totals.setdefault(tname, {})
+                for name, value in tsnap.get("counters", {}).items():
+                    bucket[name] = bucket.get(name, 0) + int(value)
         return {
             "replica_count": self.replica_count,
             "replicas": per,
             "totals": totals,
+            "tenant_totals": tenant_totals,
         }
 
     # ------------------------------------------------------------------
@@ -374,13 +386,43 @@ class FleetMember:
                 503,
                 {"status": "draining", "error": "service is draining"},
             )
+        tenant = request.effective_tenant
+        quota = self.service.config.tenant_quota
+        if quota is not None:
+            limit = quota.max_backlog(self.config.max_backlog)
+            queued = sum(
+                1
+                for e in self._backlog
+                if e.request.effective_tenant == tenant
+            )
+            if queued >= limit:
+                self.counters.rejections += 1
+                self.counters.quota_rejections += 1
+                tenant_counters = self.service.metrics.tenant(tenant)
+                tenant_counters.rejections += 1
+                tenant_counters.quota_rejections += 1
+                retry_after = self._retry_after(queued, tenant)
+                return ServiceResponse(
+                    429,
+                    {"status": "rejected",
+                     "error": (
+                         f"tenant {tenant!r} over fleet backlog share "
+                         f"({queued}/{limit} queued)"
+                     ),
+                     "tenant": tenant, "quota": True,
+                     "retry_after_s": retry_after},
+                    retry_after=retry_after,
+                )
         if len(self._backlog) >= self.config.max_backlog:
             self.counters.rejections += 1
-            retry_after = self._retry_after(len(self._backlog))
+            self.service.metrics.tenant(tenant).rejections += 1
+            retry_after = self._retry_after(
+                len(self._backlog), tenant
+            )
             return ServiceResponse(
                 429,
                 {"status": "rejected", "error": "fleet backlog full",
-                 "retry_after_s": retry_after},
+                 "tenant": tenant, "retry_after_s": retry_after},
                 retry_after=retry_after,
             )
         entry = self._new_entry(request, key)
@@ -406,12 +448,19 @@ class FleetMember:
             )
         return content_key(request.run_payload(scale)), scale
 
-    def _retry_after(self, depth: int) -> float:
-        mean = self.service.metrics.estimated_service_time(BULK)
+    def _retry_after(
+        self, depth: int, tenant: Optional[str] = None
+    ) -> float:
+        base = self.service.metrics.estimated_service_time(
+            BULK, tenant
+        )
+        per_request = self.service.tenancy.predicted_service_time(
+            tenant, base
+        )
         lanes = max(1, self.service.bulk_slots()) * max(
             1, self.replica_count
         )
-        return max(1.0, depth * mean / lanes)
+        return max(1.0, depth * per_request / lanes)
 
     def _new_entry(self, request: SimRequest, key: str) -> _BulkEntry:
         self._entry_seq += 1
@@ -1100,13 +1149,14 @@ class LocalFleet:
         scale: Optional[str] = None,
         seed: Optional[int] = None,
         priority: str = INTERACTIVE,
+        tenant: Optional[str] = None,
         via: int = 0,
     ) -> ServiceReply:
         """Submit one request through replica ``via`` (default: the
         coordinator), blocking for the reply."""
         request = SimRequest(
             experiment=experiment, scale=scale, seed=seed,
-            priority=priority,
+            priority=priority, tenant=tenant,
         )
         response = self._await(self.members[via].submit(request))
         return ServiceReply(response.status, response.payload)

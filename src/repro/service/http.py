@@ -7,7 +7,8 @@ no runtime dependency:
 * ``POST /run`` — body is a :class:`~repro.service.requests.SimRequest`
   payload; response status mirrors the service pipeline (200 ok, 400
   invalid, 429 backpressure + ``Retry-After``, 500 worker failure,
-  503 draining);
+  503 draining).  An ``X-Repro-Tenant`` header names the tenant when
+  the body carries no ``"tenant"`` field (the body field wins);
 * ``GET /healthz`` — liveness, version and admission posture;
 * ``GET /metrics`` — counters, per-class latency and store behavior.
 
@@ -43,6 +44,11 @@ from repro.service.requests import ServiceResponse, SimRequest
 
 #: Refuse unreasonable request bodies outright.
 MAX_BODY_BYTES = 1 << 20
+
+#: Request header naming the tenant a ``/run`` body should be
+#: attributed to when the body itself carries no ``"tenant"`` field
+#: (lower-cased: the parser folds header names to lower case).
+TENANT_HEADER = "x-repro-tenant"
 
 _REASONS = {
     200: "OK",
@@ -130,9 +136,11 @@ class HttpFrontend:
                 if isinstance(parsed, ServiceResponse):
                     response = parsed
                 else:
-                    method, path, body, keep_alive = parsed
+                    method, path, body, headers, keep_alive = parsed
                     try:
-                        response = await self._route(method, path, body)
+                        response = await self._route(
+                            method, path, body, headers
+                        )
                     except Exception as exc:  # noqa: BLE001 - boundary
                         keep_alive = False
                         response = ServiceResponse(
@@ -158,7 +166,7 @@ class HttpFrontend:
     async def _next_request(self, reader: asyncio.StreamReader):
         """One request off a persistent connection: ``None`` on clean
         EOF/idle-timeout, an error :class:`ServiceResponse`, or
-        ``(method, path, body, keep_alive)``."""
+        ``(method, path, body, headers, keep_alive)``."""
         try:
             parsed = await asyncio.wait_for(
                 _read_request(reader), self.keep_alive_timeout
@@ -168,8 +176,13 @@ class HttpFrontend:
         return parsed
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> ServiceResponse:
+        headers = headers or {}
         if path == "/healthz":
             if method != "GET":
                 return _method_not_allowed("GET")
@@ -185,22 +198,29 @@ class HttpFrontend:
         if path == "/run":
             if method != "POST":
                 return _method_not_allowed("POST")
-            parsed = _parse_request_body(body)
+            parsed = _parse_request_body(
+                body, header_tenant=headers.get(TENANT_HEADER)
+            )
             if isinstance(parsed, ServiceResponse):
                 return parsed
             if self.member is not None:
                 return await self.member.submit(parsed)
             return await self.service.submit(parsed)
         if path.startswith("/fleet/"):
-            return await self._route_fleet(method, path, body)
+            return await self._route_fleet(method, path, body, headers)
         return ServiceResponse(
             404, {"status": "error", "error": f"no such path {path!r}"}
         )
 
     # ------------------------------------------------------------------
     async def _route_fleet(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> ServiceResponse:
+        headers = headers or {}
         member = self.member
         if member is None:
             return ServiceResponse(
@@ -215,7 +235,9 @@ class HttpFrontend:
         if path == "/fleet/run":
             if method != "POST":
                 return _method_not_allowed("POST")
-            parsed = _parse_request_body(body)
+            parsed = _parse_request_body(
+                body, header_tenant=headers.get(TENANT_HEADER)
+            )
             if isinstance(parsed, ServiceResponse):
                 return parsed
             return await member.handle_routed(parsed)
@@ -333,10 +355,23 @@ def _parse_json(body: bytes):
     return payload
 
 
-def _parse_request_body(body: bytes):
-    """Decode a body into a :class:`SimRequest`, or a 400 response."""
+def _parse_request_body(
+    body: bytes, header_tenant: Optional[str] = None
+):
+    """Decode a body into a :class:`SimRequest`, or a 400 response.
+
+    ``header_tenant`` is the ``X-Repro-Tenant`` header value, used as
+    the request tenant when the JSON body doesn't carry one (an
+    explicit body field always wins — it is what fleet peers forward).
+    """
     try:
         payload = json.loads(body.decode("utf-8") or "null")
+        if (
+            header_tenant
+            and isinstance(payload, dict)
+            and "tenant" not in payload
+        ):
+            payload = dict(payload, tenant=header_tenant)
         return SimRequest.from_payload(payload)
     except (ValueError, ServiceError) as exc:
         return ServiceResponse(
@@ -391,7 +426,7 @@ async def _read_request(
         keep_alive = connection != "close"
     else:
         keep_alive = connection == "keep-alive"
-    return method, path, body, keep_alive
+    return method, path, body, headers, keep_alive
 
 
 def _method_not_allowed(allowed: str) -> ServiceResponse:

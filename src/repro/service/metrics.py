@@ -6,15 +6,22 @@ side — a bounded reservoir per priority class with the percentile
 arithmetic the ``/metrics`` endpoint and the service bench report
 (interactive p50/p99 is the paper-policy health signal: it is what the
 bulk cap exists to protect).
-"""
+
+Latency is kept at two scopes.  The *global* per-class reservoirs
+measure end-to-end request latency (queue wait included) — the health
+signal.  The *per-tenant* reservoirs record pure pool service time and
+feed :meth:`ServiceMetrics.estimated_service_time`, so one tenant's
+heavy sweeps no longer inflate the Retry-After quoted to another
+tenant: each tenant's backpressure is priced from its own history,
+falling back to the global chain only until it has one."""
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Any, Deque, Dict, Iterable
+from typing import Any, Deque, Dict, Iterable, Optional
 
-from repro.obs import ServiceCounters
+from repro.obs import ServiceCounters, TenantCounters
 from repro.service.requests import PRIORITIES
 
 #: Assumed mean service time (seconds) when no class has observed a
@@ -84,22 +91,54 @@ class ServiceMetrics:
         self.latency: Dict[str, LatencyStats] = {
             priority: LatencyStats() for priority in PRIORITIES
         }
+        #: tenant id -> request counters (created on first sight).
+        self.tenants: Dict[str, TenantCounters] = {}
+        #: tenant id -> pure-service-time reservoir (all classes; a
+        #: tenant's pool cost is class-independent).
+        self._tenant_service: Dict[str, LatencyStats] = {}
+
+    def tenant(self, name: str) -> TenantCounters:
+        """The (get-or-create) counter registry for one tenant."""
+        counters = self.tenants.get(name)
+        if counters is None:
+            counters = TenantCounters()
+            self.tenants[name] = counters
+        return counters
 
     def record_latency(self, priority: str, seconds: float) -> None:
         self.latency[priority].record(seconds)
 
-    def estimated_service_time(self, priority: str) -> float:
-        """Best available mean service time for ``priority``: its own
-        observed mean, then any other class's, then
+    def record_service_time(self, tenant: str, seconds: float) -> None:
+        """Record the pure pool seconds one of ``tenant``'s dispatches
+        consumed (no queue wait — the quantity Retry-After arithmetic
+        multiplies by queue depth)."""
+        stats = self._tenant_service.get(tenant)
+        if stats is None:
+            stats = LatencyStats()
+            self._tenant_service[tenant] = stats
+        stats.record(seconds)
+
+    def estimated_service_time(
+        self, priority: str, tenant: Optional[str] = None
+    ) -> float:
+        """Best available mean service time: the tenant's own observed
+        mean first (when ``tenant`` is given and has history), then the
+        ``priority`` class's global mean, then any other class's, then
         :data:`DEFAULT_SERVICE_TIME_S`.  Always finite and positive —
         this is what backpressure Retry-After arithmetic divides and
         multiplies with, so an empty reservoir on a fresh daemon must
         not surface as 0 or NaN."""
-        ordered = [self.latency[priority]] + [
+        ordered = []
+        if tenant is not None:
+            scoped = self._tenant_service.get(tenant)
+            if scoped is not None:
+                ordered.append(scoped)
+        ordered.append(self.latency[priority])
+        ordered.extend(
             stats
             for name, stats in self.latency.items()
             if name != priority
-        ]
+        )
         for stats in ordered:
             mean = stats.mean
             if math.isfinite(mean) and mean > 0.0:
@@ -113,5 +152,16 @@ class ServiceMetrics:
             "latency": {
                 priority: stats.snapshot()
                 for priority, stats in self.latency.items()
+            },
+            "tenants": {
+                name: {
+                    "counters": counters.as_dict(),
+                    "service_time": (
+                        self._tenant_service[name].snapshot()
+                        if name in self._tenant_service
+                        else LatencyStats().snapshot()
+                    ),
+                }
+                for name, counters in sorted(self.tenants.items())
             },
         }

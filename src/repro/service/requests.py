@@ -11,6 +11,14 @@ The *content address* of a request deliberately excludes the priority
 class: an interactive and a bulk request for the same configuration
 describe the same deterministic computation, so they share one cache
 entry and coalesce onto one in-flight run.
+
+Requests also carry a *tenant id* (multi-tenant admission, see
+:mod:`repro.service.tenancy`).  Like priority, the tenant is a pure
+admission attribute: it is excluded from the content address, so two
+tenants asking for the same configuration share one cache entry and
+one in-flight computation — only *scheduling* differs per tenant.
+Requests that name no tenant belong to :data:`DEFAULT_TENANT`, which
+keeps every pre-tenancy client working unchanged.
 """
 
 from __future__ import annotations
@@ -26,6 +34,13 @@ from repro.store import content_key
 INTERACTIVE = "interactive"
 BULK = "bulk"
 PRIORITIES = (INTERACTIVE, BULK)
+
+#: Tenant id assigned to requests that name none (pre-tenancy clients).
+DEFAULT_TENANT = "default"
+
+#: Upper bound on tenant-id length; ids are opaque client strings and
+#: end up in journal records, counters, and metrics keys.
+MAX_TENANT_LEN = 64
 
 
 @dataclass
@@ -59,12 +74,16 @@ class SimRequest:
         distinct content address, hence a distinct run).
     priority:
         ``"interactive"`` or ``"bulk"``.
+    tenant:
+        Tenant id for fair-share admission; ``None`` means
+        :data:`DEFAULT_TENANT`.  Never part of the content address.
     """
 
     experiment: str
     scale: Optional[str] = None
     seed: Optional[int] = None
     priority: str = INTERACTIVE
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.experiment, str) or not self.experiment:
@@ -80,6 +99,18 @@ class SimRequest:
                 f"'priority' must be one of {PRIORITIES}, "
                 f"got {self.priority!r}"
             )
+        if self.tenant is not None:
+            if not isinstance(self.tenant, str) or not self.tenant:
+                raise ServiceError("'tenant' must be a non-empty string or null")
+            if len(self.tenant) > MAX_TENANT_LEN:
+                raise ServiceError(
+                    f"'tenant' must be at most {MAX_TENANT_LEN} characters"
+                )
+
+    @property
+    def effective_tenant(self) -> str:
+        """The tenant this request is charged to."""
+        return self.tenant if self.tenant is not None else DEFAULT_TENANT
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "SimRequest":
@@ -87,14 +118,14 @@ class SimRequest:
         fields (catching client typos like ``"prioritty"``)."""
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
-        known = {"experiment", "scale", "seed", "priority"}
+        known = {"experiment", "scale", "seed", "priority", "tenant"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ServiceError(f"unknown request fields: {unknown}")
         if "experiment" not in payload:
             raise ServiceError("request needs an 'experiment' field")
         kwargs: Dict[str, Any] = {"experiment": payload["experiment"]}
-        for field in ("scale", "seed"):
+        for field in ("scale", "seed", "tenant"):
             if payload.get(field) is not None:
                 kwargs[field] = payload[field]
         if payload.get("priority") is not None:

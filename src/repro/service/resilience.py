@@ -73,13 +73,19 @@ class BulkJournal:
     Record grammar (one JSON object per line, sorted keys)::
 
         {"experiment": E, "id": N, "key": K, "rec": "accept",
-         "scale": S|null, "seed": I|null}
+         "scale": S|null, "seed": I|null[, "tenant": T]}
         {"id": N, "outcome": "completed|failed|dead_lettered",
          "rec": "settle"}
 
     ``id`` is a monotonically increasing per-journal sequence number;
     an entry is *open* while its accept has no settle.  All methods
     must be called from one thread (the daemon's event loop).
+
+    The ``tenant`` field (v2) is omitted when the request named no
+    tenant, which makes default-tenant records byte-identical to the
+    pre-tenancy (v1) grammar; recovery of a v1 journal simply reads
+    the missing field as "default tenant", so attribution survives a
+    crash in both directions.
 
     Parameters
     ----------
@@ -160,6 +166,7 @@ class BulkJournal:
         experiment: str,
         scale: Optional[str],
         seed: Optional[int],
+        tenant: Optional[str] = None,
     ) -> int:
         """Append an ``accept`` record; returns its journal id.
 
@@ -177,6 +184,8 @@ class BulkJournal:
             "scale": scale,
             "seed": seed,
         }
+        if tenant is not None:
+            rec["tenant"] = tenant
         self._append(rec)
         self._open[entry_id] = rec
         return entry_id
@@ -397,6 +406,31 @@ class WorkerSupervisor:
             pool = self._pool
             self._pool = None
             await self._loop.run_in_executor(None, pool.shutdown, True)
+
+    def resize(self, workers: int) -> None:
+        """Swap the pool for one of ``workers`` processes (autoscaler
+        entry point).
+
+        Unlike :meth:`_replace`, the old pool is healthy: it is shut
+        down *without* cancelling, so in-flight dispatches run to
+        completion on the old processes while new dispatches land on
+        the resized pool.  Does not count as a ``worker_replacement``
+        (nothing failed), but the generation does advance: a dispatch
+        still riding the retired pool that breaks must not tear down
+        the fresh pool — its ``_replace`` call no-ops on the stale
+        generation and the retry simply lands on the new pool.
+        """
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1: {workers}")
+        self._workers = workers
+        if self._pool is None:
+            return
+        self._generation += 1
+        old, self._pool = self._pool, self._pool_factory(workers)
+        try:
+            old.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 - a broken pool may refuse
+            pass
 
     # ------------------------------------------------------------------
     async def run(self, fn: Callable[..., Any], *args: Any) -> Any:

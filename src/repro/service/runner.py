@@ -101,11 +101,23 @@ async def _serve(
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             signal.signal(signum, lambda *_: shutdown.set())
 
+    extras = ""
+    if config.tenant_quota is not None:
+        quota = config.tenant_quota
+        extras += (
+            f", tenant_quota={quota.max_inflight}"
+            f":{quota.max_backlog_share}"
+        )
+    if config.autoscale_min is not None:
+        extras += (
+            f", autoscale={config.autoscale_min}"
+            f":{config.autoscale_max}"
+        )
     print(
         f"repro serve: listening on http://{host}:{frontend.port} "
         f"(workers={config.workers}, bulk_cap={config.bulk_cap}, "
         f"scale={config.effective_scale().name}, "
-        f"replica={member.replica_id})",
+        f"replica={member.replica_id}{extras})",
         file=sys.stderr,
         flush=True,
     )

@@ -17,7 +17,9 @@ fully determines which havoc is wreaked:
   instead of deadlocking;
 * **daemon SIGKILL** (subprocess rounds) — a real ``repro serve
   --journal`` daemon is killed between journal append and completion;
-  the restarted daemon must replay the accepted backlog.
+  the restarted daemon must replay the accepted backlog.  The round
+  submits as two tenants, and recovery must preserve each accepted
+  request's tenant attribution (journal v2 records carry the tenant).
 
 Every round asserts the two resilience invariants:
 
@@ -322,6 +324,16 @@ SIGKILL_JOBS: List[Tuple[str, int]] = [
     ("table1", 0), ("table1", 1), ("table1", 2), ("table1", 3),
 ]
 
+#: The kill round runs two tenants — the journal must preserve which
+#: tenant each accepted request belongs to across the crash, and the
+#: restarted daemon must re-attribute the replayed work.
+SIGKILL_TENANTS: Tuple[str, str] = ("alice", "bob")
+
+
+def sigkill_tenant(job_seed: int) -> str:
+    """Tenant for one kill-round job (alternating by seed)."""
+    return SIGKILL_TENANTS[job_seed % len(SIGKILL_TENANTS)]
+
 
 def _free_port() -> int:
     with socket.socket() as sock:
@@ -355,7 +367,10 @@ def _submit_in_background(
 
     def fire(name: str, seed: int) -> None:
         try:
-            client.run(name, seed=seed, priority="bulk")
+            client.run(
+                name, seed=seed, priority="bulk",
+                tenant=sigkill_tenant(seed),
+            )
         except OSError:
             pass  # the daemon died mid-request: that is the point
 
@@ -443,6 +458,15 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
             _wait_for(
                 backlog_settled, 300.0, 0.1, "journal backlog settled"
             )
+            # Replayed work must stay attributed: whatever per-tenant
+            # accounting the recovery daemon built can only name the
+            # round's two tenants (cached replays settle without
+            # counters, so subset — never a stranger, never "default").
+            recovered = ServiceClient(port=port2).metrics().payload
+            recovered_tenants = set(recovered.get("tenants", {}))
+            assert recovered_tenants <= set(SIGKILL_TENANTS), (
+                f"replay misattributed tenants: {recovered_tenants}"
+            )
             daemon2.send_signal(signal.SIGTERM)
             assert daemon2.wait(timeout=60.0) == 0, "unclean drain"
         finally:
@@ -457,6 +481,11 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
         verified = 0
         for rec in accepts:
             assert outcome_by_id[rec["id"]] == COMPLETED, rec
+            # Attribution survived the SIGKILL: the journaled accept
+            # carries the submitting tenant, matching the round's map.
+            assert rec.get("tenant") == sigkill_tenant(rec["seed"]), (
+                f"accept id={rec['id']} lost its tenant: {rec}"
+            )
             got = reader.get(rec["key"], default=None)
             assert got is not None, f"no store entry for {rec}"
             scale = SCALES["quick"]
@@ -477,6 +506,9 @@ def run_sigkill(seed: int) -> Dict[str, Any]:
             "accepts_at_kill": killed_at,
             "open_at_kill": len(open_ids),
             "verified_byte_identical": verified,
+            "tenants": sorted(
+                {rec["tenant"] for rec in accepts}
+            ),
             **journal_stats,
         }
 

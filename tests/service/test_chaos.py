@@ -39,7 +39,12 @@ def test_inprocess_chaos_round(seed):
 
 def test_sigkill_recovery_round():
     """Boot a real daemon, SIGKILL it mid-backlog, restart, and verify
-    the journal drives complete, byte-identical recovery."""
+    the journal drives complete, byte-identical recovery.  The round
+    submits as two tenants, so it also pins that the journal carries
+    tenant attribution across the crash (asserted per accept record
+    inside the round)."""
     summary = run_sigkill(0)
     assert summary["settles"] == summary["accepts"]
     assert summary["verified_byte_identical"] == summary["accepts"]
+    assert set(summary["tenants"]) <= {"alice", "bob"}
+    assert summary["tenants"], "no tenant ever journaled"

@@ -395,6 +395,158 @@ class TestMetrics:
                 assert name in agg["totals"]
 
 
+class TestTenancy:
+    def test_stolen_entries_keep_tenant_attribution(self):
+        """A stolen bulk entry travels with its tenant id: whichever
+        replica computes it charges the *originating* tenant's
+        fair-share usage and counters — stealing must not launder a
+        flood into the thief's default tenant."""
+        with _fleet(3) as fleet:
+            m0 = fleet.members[0]
+            seeds = []
+            seed = 0
+            while len(seeds) < 12:
+                request = SimRequest(
+                    experiment="table1", seed=seed, priority="bulk"
+                )
+                key = request.run_key(m0.service.default_scale)
+                if m0.ring.owner(key) == "r0":
+                    seeds.append(seed)
+                seed += 1
+            payloads = [
+                {"experiment": "table1", "seed": s, "priority": "bulk",
+                 "tenant": "alice"}
+                for s in seeds
+            ]
+            replies = fleet.run_many(payloads, via=0)
+            assert all(r.ok for r in replies)
+            assert m0.counters.steals_granted > 0, "no stealing"
+            now = time.monotonic()
+            thieves_crediting_alice = 0
+            for member in fleet.members:
+                tenants = member.service.metrics.tenants
+                # No replica invented a tenant: every computed entry
+                # stayed attributed to the submitter.
+                assert set(tenants) <= {"alice"}, sorted(tenants)
+                alice = tenants.get("alice")
+                if member is not m0 and alice and alice.computes:
+                    thieves_crediting_alice += 1
+                    usage = member.service.tenancy.tracker.usage(
+                        "alice", now
+                    )
+                    assert usage > 0.0, (
+                        f"{member.replica_id} computed alice's stolen "
+                        f"work without charging her fair share"
+                    )
+            assert thieves_crediting_alice > 0, (
+                "stolen work never surfaced in a thief's tenant "
+                "accounting"
+            )
+            total_computes = sum(
+                m.service.metrics.tenants["alice"].computes
+                for m in fleet.members
+                if "alice" in m.service.metrics.tenants
+            )
+            assert total_computes == len(seeds)
+
+    def test_fleet_metrics_aggregate_per_tenant(self):
+        """``/fleet/metrics`` sums each tenant's counters across every
+        replica, wherever routing placed the work."""
+        with _fleet(2) as fleet:
+            assert fleet.run("table1", seed=8, tenant="alice").ok
+            assert fleet.run(
+                "table1", seed=9, tenant="alice", via=1
+            ).ok
+            assert fleet.run(
+                "table2", seed=8, tenant="bob", via=1
+            ).ok
+            agg = fleet.fleet_metrics()
+            totals = agg["tenant_totals"]
+            assert set(totals) == {"alice", "bob"}
+            assert totals["alice"]["accepted"] == 2
+            assert totals["alice"]["completed"] == 2
+            assert totals["bob"]["completed"] == 1
+            assert totals["bob"]["quota_rejections"] == 0
+
+    def test_fleet_backlog_share_quota_bounces_flood(self):
+        """The fleet backlog enforces the per-tenant share ahead of
+        the generic full-backlog 429: the flooding tenant is bounced
+        with a tenant-scoped quota reason while the other tenant's
+        lane stays open."""
+        from repro.service import TenantQuota
+
+        fleet = LocalFleet(
+            1,
+            service_config=ServiceConfig(
+                workers=2, bulk_cap=0.5,
+                tenant_quota=TenantQuota(8, 0.25),
+            ),
+            fleet_config=FleetConfig(max_backlog=8),
+            pool_factory=_thread_pool,
+            worker_fn=quick_worker,
+        )
+        with fleet:
+            member = fleet.members[0]
+
+            async def overfill():
+                # Per-tenant share: max(1, 0.25 * 8) = 2 queued.
+                # Pre-fill alice's share with inert entries and pin
+                # the pump so nothing drains mid-test.
+                for i in range(2):
+                    member._backlog.append(
+                        member._new_entry(
+                            SimRequest(
+                                "table2", seed=1000 + i,
+                                priority="bulk", tenant="alice",
+                            ),
+                            f"inert-{i}",
+                        )
+                    )
+                member._pump_inflight = member.service.bulk_slots()
+                alice = SimRequest(
+                    "table2", seed=0, priority="bulk", tenant="alice"
+                )
+                bounced = await member.handle_owned(
+                    alice, alice.run_key(member.service.default_scale)
+                )
+                # Bob's share is untouched: his request queues.
+                bob = SimRequest(
+                    "table2", seed=1, priority="bulk", tenant="bob"
+                )
+                bob_task = asyncio.ensure_future(
+                    member.handle_owned(
+                        bob, bob.run_key(member.service.default_scale)
+                    )
+                )
+                await asyncio.sleep(0.05)
+                bob_queued = not bob_task.done()
+                depth = len(member._backlog)
+                # Drop the inert fillers (fake keys) and let bob's
+                # real entry pump through.
+                for entry in [
+                    e for e in member._backlog
+                    if e.key.startswith("inert-")
+                ]:
+                    member._backlog.remove(entry)
+                member._pump_inflight = 0
+                member._kick()
+                return bounced, bob_queued, depth, await bob_task
+
+            bounced, bob_queued, depth, bob_reply = fleet._await(
+                overfill()
+            )
+            assert bounced.status == 429
+            assert bounced.payload["quota"] is True
+            assert bounced.payload["tenant"] == "alice"
+            assert "fleet backlog share" in bounced.payload["error"]
+            assert bounced.payload["retry_after_s"] >= 1.0
+            assert bob_queued and depth == 3
+            assert bob_reply.status == 200
+            tenant = member.service.metrics.tenants["alice"]
+            assert tenant.quota_rejections == 1
+            assert tenant.rejections == 1
+
+
 class TestHttpFleet:
     """Two real HTTP front ends joined over the wire protocol."""
 
