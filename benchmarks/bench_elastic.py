@@ -1,0 +1,336 @@
+"""Elastic bench — the breakage penalty, measured, policy by policy.
+
+Reconstructs the paper's Table-5 arithmetic as a live simulation: a
+paced native workload pins each machine at its paper utilization
+(``lanes`` equal-width native lanes, back-to-back rounds, exact
+estimates), leaving the Table-5 free remainder — 86 CPUs on Blue
+Pacific — for one finite interstitial project (32-CPU nominal jobs,
+widths [4, 32]).  Every fourth round a wide native drops in mid-round,
+so the policies also face a blocked native head, not just a steady
+hole.  The project runs to drain under each
+:class:`~repro.elastic.WidthPolicy` and the bench reports:
+
+* project makespan per policy and the measured rigid/malleable ratio
+  (the breakage factor, realized — theory says 1.346 on Blue Pacific),
+* native mean wait per policy (elasticity must not slow natives), and
+* the resize counters (kills / shrinks / grows / molded starts).
+
+Everything here is simulation time — no wall clocks — so the committed
+``BENCH_elastic.json`` is exactly reproducible and ``--check`` compares
+recomputed numbers for equality, then re-asserts the headline claims:
+on Blue Pacific the malleable makespan beats rigid strictly and the
+malleable native mean wait stays within 5% of rigid's.
+
+Run directly for the full protocol (rewrites ``BENCH_elastic.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py
+
+CI smoke: ``--quick`` computes the small protocol only and
+``--check BENCH_elastic.json`` verifies the committed quick section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.runners import run_with_controller
+from repro.elastic import ElasticitySpec, elastic_controller
+from repro.jobs import InterstitialProject, Job, JobKind
+from repro.machines import preset
+from repro.sched import BackfillMode, FcfsPolicy, QueueScheduler
+from repro.theory import breakage_factor, elastic_breakage_factor
+from repro.workload.synthetic import targets
+
+MACHINES = ("ross", "blue_mountain", "blue_pacific")
+POLICIES = (
+    ("rigid", ElasticitySpec.rigid()),
+    ("moldable", ElasticitySpec.moldable()),
+    ("malleable", ElasticitySpec.malleable()),
+)
+#: Native background shape.
+LANES = 8
+ROUND_S = 3600.0
+#: Every CHURN_PERIOD-th round a CHURN_CPUS native arrives mid-round.
+CHURN_PERIOD = 4
+CHURN_CPUS = 64
+CHURN_RUNTIME_S = 1800.0
+#: Interstitial project shape (nominal width and elastic range).
+NOMINAL_CPUS = 32
+MIN_WIDTH = 4
+MAX_WIDTH = 32
+RUNTIME_1GHZ = 300.0
+#: Project sizing: drain time at full elastic throughput, per protocol.
+FULL_DRAIN_S = 6 * 3600.0
+QUICK_DRAIN_S = 1.5 * 3600.0
+#: Native rounds outlast the slowest (rigid) drain by this margin.
+ROUNDS_MARGIN = 1.3
+#: Headline guard: malleable native mean wait vs rigid (5% + 1 s slack
+#: for zero-wait scenarios).
+NATIVE_WAIT_TOLERANCE = 1.05
+NATIVE_WAIT_SLACK_S = 1.0
+
+
+def _lane_width(machine, utilization: float) -> int:
+    return int(round(machine.cpus * utilization)) // LANES
+
+
+def _native_jobs(lane_width: int, rounds: int) -> List[Job]:
+    """The paced background: LANES back-to-back lanes plus the periodic
+    mid-round churn job."""
+    jobs: List[Job] = []
+    for r in range(rounds):
+        for k in range(LANES):
+            jobs.append(
+                Job(
+                    cpus=lane_width,
+                    runtime=ROUND_S,
+                    estimate=ROUND_S,
+                    submit_time=r * ROUND_S,
+                    user=f"lane{k}",
+                    group="native",
+                )
+            )
+        if r % CHURN_PERIOD == 0:
+            jobs.append(
+                Job(
+                    cpus=CHURN_CPUS,
+                    runtime=CHURN_RUNTIME_S,
+                    estimate=CHURN_RUNTIME_S,
+                    submit_time=r * ROUND_S + ROUND_S / 4.0,
+                    user="churn",
+                    group="native",
+                )
+            )
+    return jobs
+
+
+def _scenario(machine_name: str, drain_s: float) -> Dict[str, object]:
+    """Deterministic scenario parameters for one machine."""
+    machine = preset(machine_name)
+    utilization = targets(machine_name).utilization
+    lane_width = _lane_width(machine, utilization)
+    free = machine.cpus - LANES * lane_width
+    runtime_s = RUNTIME_1GHZ / machine.clock_ghz
+    quantum = NOMINAL_CPUS * runtime_s
+    n_jobs = max(16, round(drain_s * free / quantum))
+    rigid_cps = (free // NOMINAL_CPUS) * NOMINAL_CPUS
+    rigid_est_s = n_jobs * quantum / rigid_cps
+    rounds = int(math.ceil(ROUNDS_MARGIN * rigid_est_s / ROUND_S)) + 1
+    return {
+        "machine": machine,
+        "utilization": utilization,
+        "lane_width": lane_width,
+        "free_cpus": free,
+        "runtime_s": runtime_s,
+        "n_jobs": n_jobs,
+        "rounds": rounds,
+    }
+
+
+def _run_policy(scenario: Dict[str, object], spec: ElasticitySpec) -> Dict:
+    machine = scenario["machine"]
+    project = InterstitialProject(
+        n_jobs=scenario["n_jobs"],
+        cpus_per_job=NOMINAL_CPUS,
+        runtime_1ghz=RUNTIME_1GHZ,
+        min_width=MIN_WIDTH,
+        max_width=MAX_WIDTH,
+        name="bench-elastic",
+        user="interstitial",
+        group="interstitial",
+    )
+    controller = elastic_controller(machine, project, spec)
+    scheduler = QueueScheduler(
+        policy=FcfsPolicy(), backfill=BackfillMode.EASY
+    )
+    natives = _native_jobs(scenario["lane_width"], scenario["rounds"])
+    result = run_with_controller(
+        machine, natives, controller, scheduler=scheduler,
+        check_invariants=True,
+    )
+    inter = result.jobs(JobKind.INTERSTITIAL)
+    if len(inter) != scenario["n_jobs"]:
+        raise AssertionError(
+            f"{machine.name}/{spec.policy.value}: {len(inter)} of "
+            f"{scenario['n_jobs']} interstitial jobs finished"
+        )
+    finished_natives = result.jobs(JobKind.NATIVE)
+    waits = [j.start_time - j.submit_time for j in finished_natives]
+    return {
+        "makespan_s": round(max(j.finish_time for j in inter), 1),
+        "native_mean_wait_s": round(sum(waits) / len(waits), 3),
+        "native_max_wait_s": round(max(waits), 1),
+        "preempt_kills": result.counters.preempt_kills,
+        "preempt_shrinks": result.counters.preempt_shrinks,
+        "grows": result.counters.grows,
+        "molded_starts": result.counters.molded_starts,
+    }
+
+
+def _measure_section(drain_s: float) -> Dict[str, object]:
+    out: Dict[str, object] = {"drain_s": drain_s, "machines": {}}
+    for machine_name in MACHINES:
+        scenario = _scenario(machine_name, drain_s)
+        machine = scenario["machine"]
+        busy_util = LANES * scenario["lane_width"] / machine.cpus
+        entry: Dict[str, object] = {
+            "free_cpus": scenario["free_cpus"],
+            "n_jobs": scenario["n_jobs"],
+            "rounds": scenario["rounds"],
+            "theory_breakage_rigid": round(
+                breakage_factor(machine.cpus, busy_util, NOMINAL_CPUS), 4
+            ),
+            "theory_breakage_malleable": round(
+                elastic_breakage_factor(
+                    machine.cpus, busy_util, MIN_WIDTH, MAX_WIDTH,
+                    malleable=True,
+                ),
+                4,
+            ),
+        }
+        for policy, spec in POLICIES:
+            entry[policy] = _run_policy(scenario, spec)
+        entry["measured_rigid_vs_malleable"] = round(
+            entry["rigid"]["makespan_s"] / entry["malleable"]["makespan_s"],
+            4,
+        )
+        out["machines"][machine_name] = entry  # type: ignore[index]
+        print(
+            f"{machine_name:<14} free {scenario['free_cpus']:>4d}  "
+            f"rigid {entry['rigid']['makespan_s']:>9.0f}s  "
+            f"malleable {entry['malleable']['makespan_s']:>9.0f}s  "
+            f"ratio x{entry['measured_rigid_vs_malleable']:.3f} "
+            f"(theory x{entry['theory_breakage_rigid']:.3f})  "
+            f"native wait {entry['rigid']['native_mean_wait_s']:.1f}s -> "
+            f"{entry['malleable']['native_mean_wait_s']:.1f}s"
+        )
+    return out
+
+
+def verify(section: Dict[str, object]) -> List[str]:
+    """The headline claims, checked on every section."""
+    failures: List[str] = []
+    machines: Dict[str, Dict] = section["machines"]  # type: ignore
+    bp = machines["blue_pacific"]
+    if bp["malleable"]["makespan_s"] >= bp["rigid"]["makespan_s"]:
+        failures.append(
+            "blue_pacific: malleable makespan "
+            f"{bp['malleable']['makespan_s']}s is not strictly better "
+            f"than rigid {bp['rigid']['makespan_s']}s"
+        )
+    wait_floor = (
+        NATIVE_WAIT_TOLERANCE * bp["rigid"]["native_mean_wait_s"]
+        + NATIVE_WAIT_SLACK_S
+    )
+    if bp["malleable"]["native_mean_wait_s"] > wait_floor:
+        failures.append(
+            "blue_pacific: malleable native mean wait "
+            f"{bp['malleable']['native_mean_wait_s']}s exceeds "
+            f"{wait_floor:.1f}s (5% over rigid)"
+        )
+    for name, entry in machines.items():
+        for policy in ("rigid", "moldable", "malleable"):
+            if entry[policy]["preempt_kills"] != 0:
+                failures.append(
+                    f"{name}/{policy}: non-preemptible run reported "
+                    f"{entry[policy]['preempt_kills']} preempt kills"
+                )
+    return failures
+
+
+def run_bench(out_path: Path, quick_only: bool = False) -> int:
+    data: Dict[str, object] = {
+        "protocol": {
+            "lanes": LANES,
+            "round_s": ROUND_S,
+            "churn": {
+                "period_rounds": CHURN_PERIOD,
+                "cpus": CHURN_CPUS,
+                "runtime_s": CHURN_RUNTIME_S,
+            },
+            "nominal_cpus": NOMINAL_CPUS,
+            "widths": [MIN_WIDTH, MAX_WIDTH],
+            "runtime_1ghz": RUNTIME_1GHZ,
+            "timing": "simulation-deterministic (no wall clock)",
+        },
+    }
+    if not quick_only:
+        print(f"# full protocol (drain {FULL_DRAIN_S:.0f}s)")
+        data["full"] = _measure_section(FULL_DRAIN_S)
+    print(f"# quick protocol (drain {QUICK_DRAIN_S:.0f}s)")
+    data["quick"] = _measure_section(QUICK_DRAIN_S)
+    failures = []
+    for key in ("full", "quick"):
+        if key in data:
+            failures.extend(verify(data[key]))  # type: ignore[arg-type]
+    if failures:
+        print("bench-elastic FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    out_path.write_text(json.dumps(data, indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+def check_against(committed_path: Path) -> int:
+    """CI smoke: recompute the quick section and compare exactly (the
+    protocol is simulation-deterministic), then re-assert the claims."""
+    committed = json.loads(committed_path.read_text())
+    measured = _measure_section(QUICK_DRAIN_S)
+    failures = verify(measured)
+    if measured != committed["quick"]:
+        failures.append(
+            "recomputed quick section differs from committed "
+            f"{committed_path} (determinism or protocol drift); rerun "
+            "the bench to regenerate"
+        )
+    if failures:
+        print("elastic-smoke FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"elastic-smoke OK: {len(measured['machines'])} machines "
+        "deterministic, headline claims hold"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry: the quick protocol's headline claims
+# ----------------------------------------------------------------------
+def test_quick_protocol_headline_claims() -> None:
+    section = _measure_section(QUICK_DRAIN_S)
+    assert verify(section) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="compute only the quick protocol",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", type=Path, default=None,
+        help="compare the quick protocol against a committed "
+        "BENCH_elastic.json instead of writing results",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", type=Path,
+        default=Path("BENCH_elastic.json"),
+        help="output path (default: ./BENCH_elastic.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.check is not None:
+        return check_against(args.check)
+    return run_bench(args.out, quick_only=args.quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,12 @@ from repro.core import (
     sample_short_projects,
 )
 from repro.core.runners import run_single_project
+from repro.elastic import (
+    ElasticInterstitialController,
+    ElasticitySpec,
+    WidthPolicy,
+    elastic_controller,
+)
 from repro.faults import FaultModel, FaultSchedule, NodeFault, RetryPolicy
 from repro.jobs import InterstitialProject, Job, JobKind
 from repro.machines import (
@@ -71,7 +77,12 @@ from repro.sched import (
     scheduler_for,
 )
 from repro.sim import Engine, Outage, OutageSchedule, SimConfig, SimResult
-from repro.theory import breakage_factor, fit_affine, ideal_makespan_for
+from repro.theory import (
+    breakage_factor,
+    elastic_breakage_factor,
+    fit_affine,
+    ideal_makespan_for,
+)
 from repro.workload import (
     Trace,
     compute_stats,
@@ -114,6 +125,11 @@ __all__ = [
     "dpcs_scheduler",
     "fcfs_scheduler",
     "scheduler_for",
+    # elastic interstitials
+    "ElasticInterstitialController",
+    "ElasticitySpec",
+    "WidthPolicy",
+    "elastic_controller",
     # interstitial core
     "InterstitialController",
     "OmniscientPacking",
@@ -148,5 +164,6 @@ __all__ = [
     # theory
     "ideal_makespan_for",
     "breakage_factor",
+    "elastic_breakage_factor",
     "fit_affine",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.jobs import Job
 from repro.sim.state import ClusterState
@@ -52,6 +52,42 @@ class InterstitialSource(abc.ABC):
         wasted interstitial cycles.
         """
         return False
+
+    @property
+    def elastic(self) -> bool:
+        """Whether this source's running jobs may be *resized* by the
+        engine (DESIGN §16).
+
+        An elastic source's malleable jobs (those carrying a
+        non-degenerate ``[min_cpus, max_cpus]`` range) are shrunk —
+        instead of killed — to seat a blocked native head job, and grown
+        back into idle capacity via :meth:`grow_requests`.  Orthogonal
+        to :attr:`preemptible`: a source may be both, in which case the
+        engine shrinks first and kills only for the remaining deficit.
+        """
+        return False
+
+    def grow_requests(
+        self, t: float, cluster: ClusterState, scheduler: "Scheduler"
+    ) -> List[Tuple[Job, int]]:
+        """Width increases to apply to running malleable jobs at ``t``.
+
+        Called once per scheduling pass (after :meth:`offer`) when the
+        source is :attr:`elastic`.  Each ``(job, new_cpus)`` entry must
+        name a currently running job of this source with
+        ``job.cpus < new_cpus <= job.max_cpus``, and the total growth
+        must fit in ``cluster.free_cpus``; the engine applies the
+        resizes in order, re-scaling each job's remaining runtime.
+        """
+        return []
+
+    def on_shrunk(self, job: Job, old_cpus: int, t: float) -> None:
+        """Notification that the engine shrank ``job`` from
+        ``old_cpus`` to ``job.cpus`` at ``t`` to seat a blocked native.
+
+        No work is lost (the remaining runtime was re-scaled), so the
+        default is a no-op; sources may track shrink statistics.
+        """
 
     def on_preempted(self, jobs: List[Job], t: float) -> None:
         """Notification that ``jobs`` were killed at ``t``.

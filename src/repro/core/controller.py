@@ -150,11 +150,10 @@ class InterstitialController(InterstitialSource):
             raise ConfigurationError(
                 f"start_time must be >= 0, got {start_time}"
             )
-        if project.cpus_per_job > machine.cpus:
-            raise ConfigurationError(
-                f"interstitial jobs of {project.cpus_per_job} CPUs cannot "
-                f"run on {machine.name} ({machine.cpus} CPUs)"
-            )
+        # Widths are checked where the spec first meets a machine, so a
+        # too-wide project (nominal or elastic max) fails here with a
+        # clear error instead of deep inside the engine.
+        project.validate_for(machine)
         self.machine = machine
         self.project = project
         self.runtime = project.runtime_on(machine)

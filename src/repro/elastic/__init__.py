@@ -1,0 +1,33 @@
+"""Elastic interstitials: moldable and malleable job widths.
+
+The paper's rigid ``n``-CPU interstitial jobs waste the ``free mod n``
+remainder of every hole (the breakage factor of Tables 5/6) and lose
+whole jobs to preemption when the native queue needs CPUs back.  This
+subsystem removes both penalties:
+
+* :class:`ElasticitySpec` / :class:`WidthPolicy` configure the width
+  regime — RIGID (paper-exact), MOLDABLE (width picked at start from
+  the free CPUs) or MALLEABLE (resizable while running);
+* :class:`ElasticInterstitialController` implements the two elastic
+  policies on top of the Figure-1 controller;
+* :func:`elastic_controller` builds the right controller for a spec.
+
+The closed-form waste predictions live in
+:func:`repro.theory.elastic_breakage_cpus` /
+:func:`repro.theory.elastic_breakage_factor`, and
+``experiments/elastic_tables.py`` measures the three policies head to
+head.
+"""
+
+from repro.elastic.controller import (
+    ElasticInterstitialController,
+    elastic_controller,
+)
+from repro.elastic.spec import ElasticitySpec, WidthPolicy
+
+__all__ = [
+    "ElasticInterstitialController",
+    "ElasticitySpec",
+    "WidthPolicy",
+    "elastic_controller",
+]

@@ -1,0 +1,147 @@
+"""Elastic width policies and their configuration.
+
+The paper's interstitial jobs are rigid: a fixed ``n``-CPU width that
+rarely tiles the free space exactly, wasting the remainder — the
+breakage factor ``(N(1-U)/n)/floor(N(1-U)/n)`` of Tables 5/6, dramatic
+on Blue Pacific.  :class:`WidthPolicy` names the three width regimes
+the elastic subsystem supports and :class:`ElasticitySpec` carries the
+width range they operate over:
+
+* **RIGID** — today's behavior, byte-for-byte unchanged: every job is
+  ``cpus_per_job`` wide, forever.
+* **MOLDABLE** — each job picks its width *once, at start*, from the
+  CPUs currently free (greedy widest-first within
+  ``[min_width, max_width]``).  Started jobs never change width.
+* **MALLEABLE** — moldable at start, and resizable while running: the
+  engine *shrinks* jobs (down to ``min_width``) to seat a blocked
+  native instead of killing them, re-scaling the remaining runtime so
+  no work is lost, and *grows* them back into idle capacity at
+  scheduling passes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jobs import InterstitialProject
+
+
+class WidthPolicy(enum.Enum):
+    """How an interstitial job's width is chosen (and re-chosen)."""
+
+    RIGID = "rigid"
+    MOLDABLE = "moldable"
+    MALLEABLE = "malleable"
+
+
+@dataclass(frozen=True)
+class ElasticitySpec:
+    """Width policy plus the range it molds/resizes within.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`WidthPolicy`.
+    min_width, max_width:
+        Inclusive width range for MOLDABLE/MALLEABLE jobs.  Either may
+        be ``None``, in which case :meth:`resolve` falls back to the
+        project's declared ``min_width``/``max_width`` and finally to
+        its rigid ``cpus_per_job``.  RIGID specs must not carry a
+        range (the width is always ``cpus_per_job``).
+    """
+
+    policy: WidthPolicy
+    min_width: Optional[int] = None
+    max_width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.policy, WidthPolicy):
+            raise ConfigurationError(
+                f"policy must be a WidthPolicy, got {self.policy!r}"
+            )
+        for name in ("min_width", "max_width"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                raise ConfigurationError(
+                    f"{name} must be a positive int or None, got {value!r}"
+                )
+        if (
+            self.min_width is not None
+            and self.max_width is not None
+            and self.min_width > self.max_width
+        ):
+            raise ConfigurationError(
+                f"min_width ({self.min_width}) must not exceed "
+                f"max_width ({self.max_width})"
+            )
+        if self.policy is WidthPolicy.RIGID and (
+            self.min_width is not None or self.max_width is not None
+        ):
+            raise ConfigurationError(
+                "RIGID specs take no width range: the width is always "
+                "the project's cpus_per_job"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def rigid(cls) -> "ElasticitySpec":
+        """The no-op spec: paper-exact fixed-width jobs."""
+        return cls(policy=WidthPolicy.RIGID)
+
+    @classmethod
+    def moldable(
+        cls,
+        min_width: Optional[int] = None,
+        max_width: Optional[int] = None,
+    ) -> "ElasticitySpec":
+        """Pick-width-at-start jobs within ``[min_width, max_width]``."""
+        return cls(
+            policy=WidthPolicy.MOLDABLE,
+            min_width=min_width,
+            max_width=max_width,
+        )
+
+    @classmethod
+    def malleable(
+        cls,
+        min_width: Optional[int] = None,
+        max_width: Optional[int] = None,
+    ) -> "ElasticitySpec":
+        """Shrink/grow-at-runtime jobs within ``[min_width, max_width]``."""
+        return cls(
+            policy=WidthPolicy.MALLEABLE,
+            min_width=min_width,
+            max_width=max_width,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_rigid(self) -> bool:
+        return self.policy is WidthPolicy.RIGID
+
+    def resolve(self, project: "InterstitialProject") -> Tuple[int, int]:
+        """Effective ``(min, max)`` width for ``project``.
+
+        Spec values win; unset ends fall back to the project's declared
+        range (itself defaulting to the rigid ``cpus_per_job``).  The
+        resolved range must be consistent (``0 < min <= max``).
+        """
+        proj_min, proj_max = project.width_range()
+        lo = self.min_width if self.min_width is not None else proj_min
+        hi = self.max_width if self.max_width is not None else proj_max
+        if lo > hi:
+            raise ConfigurationError(
+                f"resolved width range [{lo}, {hi}] for project "
+                f"{project.name!r} is empty; check the spec against the "
+                f"project's cpus_per_job/min_width/max_width"
+            )
+        return (lo, hi)

@@ -24,6 +24,7 @@ from repro.experiments import (
     ablation_preemption,
     ablation_width,
     cascade_analysis,
+    elastic_tables,
     fault_ablation,
     fig2,
     fig3,
@@ -87,6 +88,7 @@ SPECS: Dict[str, ExperimentSpec] = _specs(
     ExperimentSpec("ablation-predictor", ablation_predictor.run),
     ExperimentSpec("ablation-preemption", ablation_preemption.run),
     ExperimentSpec("ablation-width", ablation_width.run),
+    ExperimentSpec("elastic-tables", elastic_tables.run),
 )
 
 #: CLI name -> driver ``run`` callable (derived view of :data:`SPECS`).
@@ -122,4 +124,5 @@ REPORT_ORDER = (
     "ablation-caps",
     "ablation-load",
     "ablation-efficiency",
+    "elastic-tables",
 )

@@ -1,10 +1,19 @@
-"""The rigid batch-job model shared by native and interstitial work.
+"""The batch-job model shared by native and interstitial work.
 
 Jobs in the paper's setting are *rigid* (they require a fixed number of
 CPUs), *non-preemptive* (once started they run to completion) and carry a
 user-supplied *estimated* runtime that the scheduler must rely on even
 though it usually grossly overestimates the actual runtime (the paper
 reports median estimate 6 h vs. median actual 0.8 h on Blue Mountain).
+
+The elastic subsystem (:mod:`repro.elastic`, DESIGN §16) relaxes
+rigidity for interstitial jobs only: a job may carry a
+``[min_cpus, max_cpus]`` width range.  A *moldable* job picks its width
+once, at start, from free capacity (its bounds are then equal); a
+*malleable* job additionally resizes while running — the engine shrinks
+it to seat a blocked native and grows it back into idle capacity,
+re-scaling the remaining runtime so CPU-seconds of work are conserved.
+Native jobs are always rigid.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ import enum
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ValidationError
 
@@ -62,11 +71,23 @@ class Job:
         :class:`JobKind.NATIVE` or :class:`JobKind.INTERSTITIAL`.
     job_id:
         Unique identifier; auto-assigned when omitted.
+    min_cpus, max_cpus:
+        Optional elastic width bounds (:mod:`repro.elastic`).  ``None``
+        (the default) means the job is rigid — today's behavior.  When
+        set, both must be set and satisfy
+        ``0 < min_cpus <= cpus <= max_cpus``; the engine may then
+        resize the job between the bounds while it runs (equal bounds
+        pin a molded width that can no longer change).
 
     Attributes
     ----------
     start_time, finish_time:
         Filled in by the simulator when the job starts / finishes.
+    width_history:
+        ``(time, cpus)`` segments of an elastic job's width over its
+        run, maintained by the engine on resize; ``None`` for jobs that
+        never resized (occupancy profiles then use the constant
+        ``cpus``).
     """
 
     cpus: int
@@ -80,6 +101,11 @@ class Job:
     state: JobState = field(default=JobState.CREATED, compare=False)
     start_time: Optional[float] = field(default=None, compare=False)
     finish_time: Optional[float] = field(default=None, compare=False)
+    min_cpus: Optional[int] = None
+    max_cpus: Optional[int] = None
+    width_history: Optional[List[Tuple[float, int]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.cpus, int) or isinstance(self.cpus, bool):
@@ -102,6 +128,24 @@ class Job:
             raise ValidationError(
                 f"submit_time must be >= 0, got {self.submit_time}"
             )
+        if (self.min_cpus is None) != (self.max_cpus is None):
+            raise ValidationError(
+                "min_cpus and max_cpus must be set together "
+                f"(got min={self.min_cpus!r}, max={self.max_cpus!r})"
+            )
+        if self.min_cpus is not None and self.max_cpus is not None:
+            for name in ("min_cpus", "max_cpus"):
+                value = getattr(self, name)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ValidationError(
+                        f"{name} must be an int, got {value!r}"
+                    )
+            if not 0 < self.min_cpus <= self.cpus <= self.max_cpus:
+                raise ValidationError(
+                    f"elastic width bounds must satisfy 0 < min_cpus <= "
+                    f"cpus <= max_cpus, got min={self.min_cpus} "
+                    f"cpus={self.cpus} max={self.max_cpus}"
+                )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -117,8 +161,29 @@ class Job:
         return self.kind is JobKind.INTERSTITIAL
 
     @property
+    def elastic(self) -> bool:
+        """True when the job carries elastic width bounds."""
+        return self.min_cpus is not None
+
+    @property
+    def malleable(self) -> bool:
+        """True when the engine may still change the job's width (a
+        non-degenerate elastic range; molded jobs have equal bounds)."""
+        return (
+            self.min_cpus is not None
+            and self.max_cpus is not None
+            and self.min_cpus < self.max_cpus
+        )
+
+    @property
     def area(self) -> float:
-        """CPU-seconds of actual work (cpus x runtime)."""
+        """CPU-seconds of actual work (cpus x runtime).
+
+        For a resized malleable job this is the area of the *final*
+        width extended over the whole runtime — use
+        :attr:`width_history` (via ``SimResult.busy_profile``) for the
+        true occupancy of elastic runs.
+        """
         return self.cpus * self.runtime
 
     @property
@@ -176,6 +241,8 @@ class Job:
             group=self.group,
             kind=self.kind,
             job_id=self.job_id,
+            min_cpus=self.min_cpus,
+            max_cpus=self.max_cpus,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.jobs.job import Job, JobKind
@@ -46,6 +46,12 @@ class InterstitialProject:
         Optional label used in reports.
     user, group:
         Accounting identity under which the interstitial jobs are charged.
+    min_width, max_width:
+        Optional elastic width range (:mod:`repro.elastic`, DESIGN §16).
+        When set, both must be set and satisfy
+        ``0 < min_width <= cpus_per_job <= max_width``; elastic
+        controllers then mold/resize jobs within the range while rigid
+        controllers keep using ``cpus_per_job`` unchanged.
     """
 
     n_jobs: int
@@ -54,6 +60,8 @@ class InterstitialProject:
     name: str = "interstitial"
     user: str = "interstitial"
     group: str = "interstitial"
+    min_width: Optional[int] = None
+    max_width: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_jobs <= 0:
@@ -67,6 +75,18 @@ class InterstitialProject:
                 f"runtime_1ghz must be positive and finite, "
                 f"got {self.runtime_1ghz}"
             )
+        if (self.min_width is None) != (self.max_width is None):
+            raise ValidationError(
+                "min_width and max_width must be set together "
+                f"(got min={self.min_width!r}, max={self.max_width!r})"
+            )
+        if self.min_width is not None and self.max_width is not None:
+            if not 0 < self.min_width <= self.cpus_per_job <= self.max_width:
+                raise ValidationError(
+                    f"width range must satisfy 0 < min_width <= "
+                    f"cpus_per_job <= max_width, got min={self.min_width} "
+                    f"cpus_per_job={self.cpus_per_job} max={self.max_width}"
+                )
 
     # ------------------------------------------------------------------
     # Sizing
@@ -113,6 +133,33 @@ class InterstitialProject:
             group=group,
         )
 
+    def width_range(self) -> Tuple[int, int]:
+        """Effective ``(min, max)`` job width: the declared elastic
+        range, or the degenerate rigid ``(cpus_per_job, cpus_per_job)``."""
+        if self.min_width is not None and self.max_width is not None:
+            return (self.min_width, self.max_width)
+        return (self.cpus_per_job, self.cpus_per_job)
+
+    def validate_for(self, machine: "Machine") -> None:
+        """Reject widths the target machine cannot seat.
+
+        Raises
+        ------
+        ValidationError
+            When ``cpus_per_job`` (or the elastic ``max_width``) exceeds
+            ``machine.cpus``.  Checked where the spec first meets a
+            machine — job materialization and controller construction —
+            so a too-wide project fails immediately with a clear error
+            instead of deep inside the engine.
+        """
+        widest = max(self.cpus_per_job, self.max_width or 0)
+        if widest > machine.cpus:
+            raise ValidationError(
+                f"project {self.name!r} requires jobs of {widest} CPUs "
+                f"but {machine.name} has only {machine.cpus}; shrink "
+                f"cpus_per_job/max_width or pick a larger machine"
+            )
+
     # ------------------------------------------------------------------
     # Job materialization
     # ------------------------------------------------------------------
@@ -122,6 +169,7 @@ class InterstitialProject:
         Interstitial runtimes have zero variance (paper §4) and the
         controller knows them exactly, so ``estimate == runtime``.
         """
+        self.validate_for(machine)
         runtime = self.runtime_on(machine)
         return Job(
             cpus=self.cpus_per_job,

@@ -39,8 +39,18 @@ class Counters:
         Jobs that ran to completion.
     requeues:
         Fault-killed natives re-entering the queue (RESUBMIT events).
-    preemptions:
-        Interstitial jobs killed to seat a blocked native head job.
+    preempt_kills:
+        Interstitial jobs killed to seat a blocked native head job
+        (work wasted; the pre-elastic ``preemptions`` counter).
+    preempt_shrinks:
+        Malleable interstitial jobs *shrunk* — CPUs released to a
+        blocked native with the remaining runtime re-scaled, no work
+        wasted (DESIGN §16).
+    grows:
+        Width increases of running malleable jobs into idle capacity.
+    molded_starts:
+        Interstitial starts whose width was molded to free capacity at
+        submit time (jobs carrying elastic width bounds).
     fault_kills:
         Jobs killed by node failures (native and interstitial).
     failures, repairs, outages, wakes:
@@ -74,7 +84,10 @@ class Counters:
     starts: int = 0
     finishes: int = 0
     requeues: int = 0
-    preemptions: int = 0
+    preempt_kills: int = 0
+    preempt_shrinks: int = 0
+    grows: int = 0
+    molded_starts: int = 0
     fault_kills: int = 0
     failures: int = 0
     repairs: int = 0
@@ -87,6 +100,13 @@ class Counters:
     fault_throttle_passes: int = 0
     invariant_checks: int = 0
     cache_hits: int = 0
+
+    @property
+    def preemptions(self) -> int:
+        """Back-compat alias for the pre-split counter: preemptions
+        that *killed* work.  A property, not a field, so ``merge``/
+        ``as_dict`` aggregation stays un-doubled."""
+        return self.preempt_kills
 
     def merge(self, other: "Counters") -> "Counters":
         """Add ``other``'s counts into this registry; returns self."""

@@ -2,8 +2,9 @@
 
 The engine emits one :class:`TraceRecord` per semantic event — submit,
 start, finish, failure (and the jobs it kills), repair, preempt,
-requeue, fault-throttled pass, scheduling pass, plus ``run_start`` /
-``run_end`` boundaries — through a :class:`TraceRecorder`.  Because
+elastic shrink/grow resizes, requeue, fault-throttled pass, scheduling
+pass, plus ``run_start`` / ``run_end`` boundaries — through a
+:class:`TraceRecorder`.  Because
 every field of a record is derived from deterministic simulation state
 (event times, job ids, queue depth, busy CPUs), the serialized trace of
 a seeded configuration is byte-for-bit reproducible: the golden-trace
@@ -34,6 +35,8 @@ RECORD_KINDS = (
     "kill",
     "repair",
     "preempt",
+    "shrink",
+    "grow",
     "requeue",
     "fault_throttle",
     "sched_pass",
@@ -59,6 +62,10 @@ class TraceRecord:
     kill            a job killed by that failure
     repair          detail = repaired CPUs
     preempt         a job killed to seat a blocked native head job
+    shrink          a malleable job resized down for a blocked native
+                    (cpus = new width, detail = old width)
+    grow            a malleable job resized up into idle capacity
+                    (cpus = new width, detail = old width)
     requeue         a fault-killed native re-entering the queue
     fault_throttle  a scheduling pass blocked by the fault throttle
     sched_pass      detail = jobs started during the pass

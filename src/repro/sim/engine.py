@@ -502,8 +502,8 @@ class Engine:
 
     def _scheduling_pass(self, t: float) -> None:
         """One pass: native policy to quiescence, then (optionally)
-        preemption of interstitial jobs for a blocked native head job,
-        then interstitial feeding."""
+        shrink/preemption of interstitial jobs for a blocked native head
+        job, then interstitial feeding and elastic grow-back."""
         self.counters.scheduling_passes += 1
         self._pass_starts = 0
         try:
@@ -512,10 +512,25 @@ class Engine:
             source = self.interstitial
             if source is None:
                 return
-            if source.preemptible and self.scheduler.queue_length > 0:
-                if self._preempt_for_head(t):
+            elastic = source.elastic
+            if (
+                (source.preemptible or elastic)
+                and self.scheduler.queue_length > 0
+            ):
+                # Elastic sources repeat the carve-and-seat round until
+                # no further native can be seated (each round shrinks
+                # exactly the head's deficit, so arrivals behind it need
+                # their own round); the kill-only path keeps its
+                # historical single round.
+                while self._preempt_for_head(t):
+                    started = False
                     for job in self.scheduler.schedule(t, self.cluster):
                         self._start(job, t)
+                        started = True
+                    if not elastic or not started:
+                        break
+                    if self.scheduler.queue_length == 0:
+                        break
             horizon = self.config.horizon
             if horizon is not None and t >= horizon:
                 return
@@ -525,16 +540,36 @@ class Engine:
                     self._record(t, "fault_throttle")
             for job in source.offer(t, self.cluster, self.scheduler):
                 job.job_id = next(self._interstitial_ids)
+                if job.min_cpus is not None:
+                    self.counters.molded_starts += 1
                 self._start(job, t)
+            if elastic:
+                for job, width in source.grow_requests(
+                    t, self.cluster, self.scheduler
+                ):
+                    self._resize(job, width, t, grow=True)
         finally:
             if self._rec:
                 self._record(t, "sched_pass", detail=self._pass_starts)
 
     def _preempt_for_head(self, t: float) -> bool:
-        """Kill just enough interstitial jobs (youngest first) so the
-        top-priority native job fits; returns True when anything was
-        killed.  Killed work is wasted — jobs are non-preemptive with no
-        checkpoint/restart — and the source is told to redo it."""
+        """Carve just enough CPUs out of running interstitial jobs
+        (youngest first) so the top-priority native job fits; returns
+        True when anything was shrunk or killed.
+
+        Elastic sources release CPUs the cheap way first: malleable
+        jobs *shrink* toward their ``min_cpus`` floor with their
+        remaining runtime re-scaled, so no work is lost (DESIGN §16).
+        Any remaining deficit falls through to the historical kill path
+        (preemptible sources only), where killed work is wasted — jobs
+        are non-preemptive with no checkpoint/restart — and the source
+        is told to redo it.
+        """
+        source = self.interstitial
+        if source is None:
+            raise SimulationError(
+                "preemption pass without an interstitial source"
+            )
         head = self.scheduler.head_job(t)
         if head is None:
             return False
@@ -549,32 +584,108 @@ class Engine:
             ),
             key=lambda rec: (-rec.start_time, -rec.job.job_id),
         )
-        if sum(rec.job.cpus for rec in victims) < deficit:
-            # Even killing every interstitial job cannot seat the head
-            # job (natives hold the rest) — killing now would only waste
-            # work without helping, so wait for native releases instead.
+        shrinkable = 0
+        if source.elastic:
+            shrinkable = sum(
+                rec.job.cpus - rec.job.min_cpus
+                for rec in victims
+                if rec.job.malleable
+            )
+        killable = (
+            sum(rec.job.cpus for rec in victims)
+            if source.preemptible
+            else 0
+        )
+        if shrinkable + killable < deficit:
+            # Even shrinking every malleable job to its floor and
+            # killing everything killable cannot seat the head job
+            # (natives hold the rest) — carving now would only cost
+            # interstitial throughput without helping, so wait for
+            # native releases instead.
             return False
-        killed: List[Job] = []
         freed = 0
+        if shrinkable > 0:
+            for rec in victims:
+                if freed >= deficit:
+                    break
+                job = rec.job
+                if not job.malleable:
+                    continue
+                give = min(job.cpus - job.min_cpus, deficit - freed)
+                if give <= 0:
+                    continue
+                old_cpus = job.cpus
+                self._resize(job, job.cpus - give, t, grow=False)
+                source.on_shrunk(job, old_cpus, t)
+                freed += give
+        if freed >= deficit:
+            return True
+        killed: List[Job] = []
         for rec in victims:
             if freed >= deficit:
                 break
+            if rec.job.state is not JobState.RUNNING:
+                continue  # defensive; shrinks never change state
             self.cluster.finish(rec.job)
             self._expected_finish.pop(rec.job.job_id, None)
             rec.job.state = JobState.KILLED
             rec.job.finish_time = t
             killed.append(rec.job)
             freed += rec.job.cpus
-            self.counters.preemptions += 1
+            self.counters.preempt_kills += 1
             if self._rec:
                 self._record(t, "preempt", rec.job)
         self._killed.extend(killed)
-        if self.interstitial is None:
-            raise SimulationError(
-                "preempted interstitial jobs without an interstitial source"
-            )
-        self.interstitial.on_preempted(killed, t)
+        source.on_preempted(killed, t)
         return True
+
+    def _resize(self, job: Job, new_cpus: int, t: float, grow: bool) -> None:
+        """Change a running malleable job's width to ``new_cpus``,
+        conserving CPU-seconds of remaining work.
+
+        The remaining work at ``t`` is ``old_cpus * (finish - t)``
+        CPU-seconds; at the new width it takes ``remaining * old/new``
+        seconds, so the job's runtime/estimate become the elapsed time
+        plus the re-scaled remainder, the cluster re-accounts the width
+        (bumping its epoch, which invalidates scheduler pass-skip
+        caches), and a fresh FINISH event replaces the old one — the
+        stale event is discarded by the ``_expected_finish`` check,
+        exactly like a killed-then-retried incarnation's.
+        """
+        old_cpus = job.cpus
+        if new_cpus == old_cpus:
+            return
+        if job.min_cpus is None or job.max_cpus is None or not (
+            job.min_cpus <= new_cpus <= job.max_cpus
+        ):
+            raise SimulationError(
+                f"resize of job {job.job_id} to {new_cpus} CPUs outside "
+                f"its elastic bounds [{job.min_cpus}, {job.max_cpus}]"
+            )
+        expected = self._expected_finish.get(job.job_id)
+        if expected is None or job.state is not JobState.RUNNING:
+            raise SimulationError(
+                f"resize of job {job.job_id} which is not running"
+            )
+        started = job.start_time if job.start_time is not None else t
+        remaining = max(0.0, expected - t)
+        new_remaining = remaining * old_cpus / new_cpus
+        if job.width_history is None:
+            job.width_history = [(started, old_cpus)]
+        job.width_history.append((t, new_cpus))
+        job.cpus = new_cpus
+        job.runtime = (t - started) + new_remaining
+        job.estimate = job.runtime
+        self.cluster.resize(job, old_cpus)
+        event = self.events.push(t + new_remaining, EventKind.FINISH, job)
+        self._expected_finish[job.job_id] = event.time
+        if grow:
+            self.counters.grows += 1
+        else:
+            self.counters.preempt_shrinks += 1
+        if self._rec:
+            self._record(t, "grow" if grow else "shrink", job,
+                         detail=old_cpus)
 
     def _start(self, job: Job, t: float) -> None:
         self.cluster.start(job, t)

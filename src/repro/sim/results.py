@@ -66,7 +66,8 @@ class SimResult:
         Number of FAILURE events processed.
     counters:
         The engine's :class:`~repro.obs.Counters` registry for this
-        run (events handled, scheduling passes, preemptions, backfill
+        run (events handled, scheduling passes, preempt kills and
+        elastic shrinks/grows, backfill
         starts, invariant checks, ...); always populated — counting is
         cheap enough to leave on.
     """
@@ -114,25 +115,42 @@ class SimResult:
     def busy_profile(self, kind: Optional[JobKind] = None) -> StepFunction:
         """Busy-CPU step function over time for finished jobs of ``kind``
         (all kinds when None).  Jobs truncated by an early stop contribute
-        up to ``end_time``."""
+        up to ``end_time``.
+
+        Elastic jobs that resized while running (``width_history`` set)
+        contribute their per-segment widths rather than a constant
+        ``cpus``, so utilization reflects the CPUs actually held over
+        time.
+        """
         times: List[float] = []
         deltas: List[float] = []
+
+        def add(job: Job, end: float) -> None:
+            history = job.width_history
+            if history:
+                prev = 0
+                for seg_start, seg_width in history:
+                    times.append(seg_start)
+                    deltas.append(seg_width - prev)
+                    prev = seg_width
+                times.append(end)
+                deltas.append(-prev)
+            else:
+                times.append(job.start_time)  # type: ignore[arg-type]
+                deltas.append(job.cpus)
+                times.append(end)
+                deltas.append(-job.cpus)
+
         for job in list(self.finished) + list(self.killed):
             if kind is not None and job.kind is not kind:
                 continue
-            times.append(job.start_time)  # type: ignore[arg-type]
-            deltas.append(job.cpus)
-            times.append(job.finish_time)  # type: ignore[arg-type]
-            deltas.append(-job.cpus)
+            add(job, job.finish_time)  # type: ignore[arg-type]
         for job in self.unfinished:
             if job.start_time is None:
                 continue
             if kind is not None and job.kind is not kind:
                 continue
-            times.append(job.start_time)
-            deltas.append(job.cpus)
-            times.append(self.end_time)
-            deltas.append(-job.cpus)
+            add(job, self.end_time)
         return StepFunction.from_deltas(times, deltas, base=0.0)
 
     def down_profile(self) -> StepFunction:

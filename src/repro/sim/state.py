@@ -143,6 +143,41 @@ class ClusterState:
         self.epoch += 1
         return record
 
+    def resize(self, job: Job, old_cpus: int) -> RunningJob:
+        """Re-account a running elastic job whose width (and estimate)
+        the engine just changed from ``old_cpus`` to ``job.cpus``.
+
+        The caller mutates ``job.cpus``/``job.estimate`` first and then
+        reports the old width here; this updates the busy counter and
+        re-keys the job's entry in the release timeline (its estimated
+        finish moved with the re-scaled remaining runtime).  The start
+        sequence number is preserved so timeline tie-breaking still
+        reflects chronological start order.  Bumps :attr:`epoch`, which
+        is what keeps scheduler pass-skip caches sound across resizes
+        (DESIGN §13).
+        """
+        record = self.running.get(job.job_id)
+        if record is None:
+            raise SchedulingError(
+                f"job {job.job_id} resized but was not running"
+            )
+        grow = job.cpus - old_cpus
+        if grow > 0 and grow > self.free_cpus:
+            raise CapacityError(
+                f"job {job.job_id} grew by {grow} CPUs but only "
+                f"{self.free_cpus} are free"
+            )
+        self.busy_cpus += grow
+        if self.busy_cpus < 0:
+            raise SchedulingError("negative busy CPU count")
+        old_key = self._release_key_of.pop(job.job_id)
+        del self._release_keys[bisect.bisect_left(self._release_keys, old_key)]
+        key = (record.estimated_finish, float(job.cpus), old_key[2])
+        bisect.insort(self._release_keys, key)
+        self._release_key_of[job.job_id] = key
+        self.epoch += 1
+        return record
+
     def apply_outage(self, delta: int) -> None:
         """Apply a drain-outage transition (``delta`` CPUs down/up)."""
         self.down_cpus += delta

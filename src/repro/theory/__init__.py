@@ -7,9 +7,18 @@
   number of ``n``-wide jobs rarely tiles the free space exactly.
 * :func:`fit_affine` — recovers the paper's empirical calibration
   ``Makespan(sec) = 5256 + 1.16 x P/(nC(1-U))`` from simulated points.
+* :func:`elastic_breakage_factor` / :func:`elastic_breakage_cpus` —
+  the same corrections when jobs mold into ``[min_width, max_width]``
+  (only a remainder below ``min_width`` is wasted) or resize while
+  running (nothing is wasted while ``min_width`` CPUs are free).
 """
 
-from repro.theory.breakage import breakage_factor, expected_breakage_cpus
+from repro.theory.breakage import (
+    breakage_factor,
+    elastic_breakage_cpus,
+    elastic_breakage_factor,
+    expected_breakage_cpus,
+)
 from repro.theory.fitting import AffineFit, fit_affine
 from repro.theory.makespan import (
     ideal_makespan,
@@ -29,6 +38,8 @@ __all__ = [
     "predicted_makespan",
     "breakage_factor",
     "expected_breakage_cpus",
+    "elastic_breakage_cpus",
+    "elastic_breakage_factor",
     "fit_affine",
     "AffineFit",
     "erlang_c",

@@ -57,3 +57,77 @@ def expected_breakage_cpus(
     _validate(n_cpus, utilization, job_width)
     avg_free = n_cpus * (1.0 - utilization)
     return avg_free - math.floor(avg_free / job_width) * job_width
+
+
+def _validate_range(min_width: int, max_width: int) -> None:
+    if min_width <= 0 or max_width <= 0:
+        raise ValidationError(
+            f"widths must be positive: [{min_width}, {max_width}]"
+        )
+    if min_width > max_width:
+        raise ValidationError(
+            f"min_width ({min_width}) must not exceed "
+            f"max_width ({max_width})"
+        )
+
+
+def elastic_breakage_cpus(
+    n_cpus: int,
+    utilization: float,
+    min_width: int,
+    max_width: int,
+    malleable: bool = False,
+) -> float:
+    """Average CPUs wasted when jobs mold into ``[min_width, max_width]``.
+
+    A moldable controller tiles the mean free space ``F = N(1-U)``
+    greedily widest-first: ``floor(F / max_width)`` full-width jobs,
+    then one job of width ``F mod max_width`` if that remainder is at
+    least ``min_width``.  Only a remainder in ``(0, min_width)`` is
+    unservable and wasted.  A malleable controller additionally grows
+    running jobs into any remainder, so nothing is wasted as long as at
+    least ``min_width`` CPUs are free on average.
+
+    With ``min_width == max_width == n`` this reduces to the rigid
+    :func:`expected_breakage_cpus`.
+    """
+    _validate(n_cpus, utilization, min_width)
+    _validate_range(min_width, max_width)
+    avg_free = n_cpus * (1.0 - utilization)
+    if avg_free < min_width:
+        # Not even the narrowest job fits on average: everything free
+        # is breakage, elastic or not.
+        return avg_free
+    if malleable:
+        return 0.0
+    remainder = avg_free - math.floor(avg_free / max_width) * max_width
+    return remainder if remainder < min_width else 0.0
+
+
+def elastic_breakage_factor(
+    n_cpus: int,
+    utilization: float,
+    min_width: int,
+    max_width: int,
+    malleable: bool = False,
+) -> float:
+    """Relative makespan inflation under an elastic width policy.
+
+    The rigid factor divides the free space by the CPUs whole jobs can
+    cover; elastically the covered share is ``F - waste`` with the
+    waste from :func:`elastic_breakage_cpus`, so the factor is
+    ``F / (F - waste)``.  Returns ``inf`` when not even a
+    ``min_width``-wide job fits the average free space.  With
+    ``min_width == max_width == n`` this reduces to the rigid
+    :func:`breakage_factor`.
+    """
+    _validate(n_cpus, utilization, min_width)
+    _validate_range(min_width, max_width)
+    avg_free = n_cpus * (1.0 - utilization)
+    waste = elastic_breakage_cpus(
+        n_cpus, utilization, min_width, max_width, malleable=malleable
+    )
+    covered = avg_free - waste
+    if covered <= 0.0:
+        return math.inf
+    return avg_free / covered

@@ -1,0 +1,86 @@
+"""ElasticInterstitialController construction and policy dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import InterstitialController
+from repro.elastic import (
+    ElasticInterstitialController,
+    ElasticitySpec,
+    elastic_controller,
+)
+from repro.errors import ConfigurationError
+from repro.jobs import InterstitialProject
+from repro.machines import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(name="ElasticBox", cpus=64, clock_ghz=1.0)
+
+
+@pytest.fixture
+def project() -> InterstitialProject:
+    return InterstitialProject(
+        n_jobs=10, cpus_per_job=16, runtime_1ghz=400.0,
+        min_width=4, max_width=16,
+    )
+
+
+def test_rejects_rigid_spec(machine, project) -> None:
+    with pytest.raises(ConfigurationError, match="RIGID"):
+        ElasticInterstitialController(
+            machine, project, spec=ElasticitySpec.rigid()
+        )
+
+
+def test_factory_dispatch(machine, project) -> None:
+    rigid = elastic_controller(machine, project, ElasticitySpec.rigid())
+    assert type(rigid) is InterstitialController
+    assert type(elastic_controller(machine, project)) is (
+        InterstitialController
+    )
+    moldable = elastic_controller(
+        machine, project, ElasticitySpec.moldable()
+    )
+    assert isinstance(moldable, ElasticInterstitialController)
+    # Only malleable jobs are runtime-resizable, so only the malleable
+    # controller turns on the engine's elastic machinery.
+    assert not moldable.elastic
+    malleable = elastic_controller(
+        machine, project, ElasticitySpec.malleable()
+    )
+    assert malleable.elastic
+
+
+def test_resolved_range_and_quantum(machine, project) -> None:
+    controller = ElasticInterstitialController(
+        machine, project, spec=ElasticitySpec.malleable()
+    )
+    assert (controller.min_width, controller.max_width) == (4, 16)
+    # Fixed CPU-seconds per quantum; runtime scales inversely in width.
+    assert controller.work_quantum == 16 * 400.0
+    assert controller.runtime_at(16) == 400.0
+    assert controller.runtime_at(4) == 1600.0
+
+
+def test_rejects_max_width_beyond_machine(machine) -> None:
+    wide = InterstitialProject(
+        n_jobs=10, cpus_per_job=16, runtime_1ghz=400.0,
+        min_width=4, max_width=128,
+    )
+    with pytest.raises(ConfigurationError, match="max_width"):
+        ElasticInterstitialController(
+            machine, wide, spec=ElasticitySpec.malleable()
+        )
+
+
+def test_no_checkpointing_parameter(machine, project) -> None:
+    """Elastic controllers do not support checkpoint/restart: quanta
+    are fixed-width work units, so the parameter does not exist."""
+    with pytest.raises(TypeError):
+        ElasticInterstitialController(
+            machine, project, spec=ElasticitySpec.malleable(),
+            checkpointing=True,
+        )

@@ -1,0 +1,66 @@
+"""ElasticitySpec / WidthPolicy validation and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elastic import ElasticitySpec, WidthPolicy
+from repro.errors import ConfigurationError
+from repro.jobs import InterstitialProject
+
+
+def test_policy_constructors() -> None:
+    assert ElasticitySpec.rigid().policy is WidthPolicy.RIGID
+    assert ElasticitySpec.rigid().is_rigid
+    assert ElasticitySpec.moldable(4, 32).policy is WidthPolicy.MOLDABLE
+    assert ElasticitySpec.malleable(4, 32).policy is WidthPolicy.MALLEABLE
+    assert not ElasticitySpec.malleable().is_rigid
+
+
+def test_rejects_non_policy() -> None:
+    with pytest.raises(ConfigurationError, match="WidthPolicy"):
+        ElasticitySpec(policy="malleable")  # type: ignore[arg-type]
+
+
+@pytest.mark.parametrize("bad", [0, -4, 2.5, True])
+def test_rejects_bad_widths(bad) -> None:
+    with pytest.raises(ConfigurationError, match="positive int"):
+        ElasticitySpec.moldable(min_width=bad)
+    with pytest.raises(ConfigurationError, match="positive int"):
+        ElasticitySpec.malleable(max_width=bad)
+
+
+def test_rejects_inverted_range() -> None:
+    with pytest.raises(ConfigurationError, match="must not exceed"):
+        ElasticitySpec.malleable(min_width=16, max_width=4)
+
+
+def test_rigid_takes_no_range() -> None:
+    with pytest.raises(ConfigurationError, match="RIGID"):
+        ElasticitySpec(policy=WidthPolicy.RIGID, min_width=4, max_width=8)
+
+
+def test_resolve_spec_wins_over_project() -> None:
+    project = InterstitialProject(
+        n_jobs=1, cpus_per_job=16, runtime_1ghz=100.0,
+        min_width=8, max_width=32,
+    )
+    assert ElasticitySpec.malleable(4, 16).resolve(project) == (4, 16)
+    # Unset ends fall back to the project's declared range.
+    assert ElasticitySpec.malleable(max_width=16).resolve(project) == (8, 16)
+    assert ElasticitySpec.malleable().resolve(project) == (8, 32)
+
+
+def test_resolve_falls_back_to_rigid_width() -> None:
+    project = InterstitialProject(n_jobs=1, cpus_per_job=16,
+                                  runtime_1ghz=100.0)
+    assert ElasticitySpec.moldable().resolve(project) == (16, 16)
+
+
+def test_resolve_rejects_empty_range() -> None:
+    project = InterstitialProject(
+        n_jobs=1, cpus_per_job=16, runtime_1ghz=100.0,
+        min_width=8, max_width=32,
+    )
+    with pytest.raises(ConfigurationError, match="empty"):
+        ElasticitySpec.malleable(min_width=64).resolve(project)

@@ -2,10 +2,11 @@
 
 Each case is a fully seeded simulation small enough to check its JSONL
 trace into the repository: per machine preset one *native* baseline,
-one *faulted* native run, and one *continual* interstitial run.  The
-traces pin scheduling order, tie-breaking, fault victim selection and
-the record schema all at once — any engine change that reorders events
-shows up as a golden diff instead of a silently shifted table.
+one *faulted* native run, and one *continual* interstitial run, plus a
+single *malleable* elastic run on Blue Pacific (shrink/grow records).
+The traces pin scheduling order, tie-breaking, fault victim selection
+and the record schema all at once — any engine change that reorders
+events shows up as a golden diff instead of a silently shifted table.
 
 Regenerate (and review the diff!) with ``pytest --regen-golden``.
 """
@@ -17,7 +18,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from repro.core.runners import run_continual, run_native
+from repro.core.runners import run_continual, run_native, run_with_controller
+from repro.elastic import ElasticitySpec, elastic_controller
 from repro.faults import FaultModel
 from repro.jobs import InterstitialProject
 from repro.machines import preset
@@ -72,6 +74,26 @@ def _continual(machine_name: str, recorder: TraceRecorder) -> None:
                   recorder=recorder)
 
 
+def _malleable(machine_name: str, recorder: TraceRecorder) -> None:
+    machine = preset(machine_name)
+    trace = _trace(machine_name, 3)
+    project = InterstitialProject(
+        n_jobs=60,
+        cpus_per_job=32,
+        runtime_1ghz=1800.0,
+        min_width=4,
+        max_width=32,
+        name=f"golden-elastic-{machine_name}",
+        user="golden",
+        group="golden",
+    )
+    controller = elastic_controller(
+        machine, project, ElasticitySpec.malleable()
+    )
+    run_with_controller(machine, trace.jobs, controller,
+                        horizon=trace.duration, recorder=recorder)
+
+
 #: Case name -> driver writing the case's trace into a recorder.
 CASES: Dict[str, Callable[[str, TraceRecorder], None]] = {}
 for _machine in preset_names():
@@ -84,6 +106,9 @@ for _machine in preset_names():
     CASES[f"continual-{_machine}"] = (
         lambda rec, m=_machine: _continual(m, rec)
     )
+CASES["malleable-blue_pacific"] = (
+    lambda rec: _malleable("blue_pacific", rec)
+)
 
 
 def render_case(name: str) -> str:

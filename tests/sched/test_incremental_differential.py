@@ -19,14 +19,19 @@ the reference by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Type
+from typing import Tuple
 
 import numpy as np
 import pytest
 
-from repro.core.runners import run_continual, run_native
+from repro.core.runners import (
+    run_continual,
+    run_native,
+    run_with_controller,
+)
+from repro.elastic import ElasticInterstitialController, ElasticitySpec
 from repro.faults import FaultModel
-from repro.jobs import InterstitialProject, Job
+from repro.jobs import InterstitialProject
 from repro.machines import Machine
 from repro.obs import MemoryRecorder
 from repro.sched import (
@@ -101,6 +106,12 @@ class Spec:
         diet, so the sweep must cover it."""
         return (self.seed // 7) % 2 == 1
 
+    @property
+    def with_elastic(self) -> bool:
+        """Malleable interstitial feeding: resizes bump the cluster
+        epoch, so the pass-skip caches must survive them too."""
+        return self.continual and (self.seed // 11) % 2 == 1
+
 
 def _scheduler(cls: type, spec: Spec, machine: Machine):
     """Fresh scheduler of the requested class: policies, predictors and
@@ -136,7 +147,25 @@ def _run(spec: Spec, scheduler_cls: type) -> Tuple[SimResult, MemoryRecorder]:
     recorder = MemoryRecorder()
     scheduler = _scheduler(scheduler_cls, spec, machine)
     wake = 300.0 if spec.with_wake else None
-    if spec.continual:
+    if spec.with_elastic:
+        project = InterstitialProject(
+            n_jobs=1, cpus_per_job=8, runtime_1ghz=900.0,
+            min_width=2, max_width=8,
+            user="harvest", group="harvest",
+        )
+        controller = ElasticInterstitialController(
+            machine, project, spec=ElasticitySpec.malleable(),
+            continual=True,
+        )
+        result = run_with_controller(
+            machine, trace, controller,
+            scheduler=scheduler, faults=faults, recorder=recorder,
+            # Continual feeding stops at the last native submission,
+            # mirroring run_continual's default horizon.
+            horizon=max(job.submit_time for job in trace),
+            wake_interval=wake,
+        )
+    elif spec.continual:
         project = InterstitialProject(
             n_jobs=1, cpus_per_job=8, runtime_1ghz=900.0,
             user="harvest", group="harvest",
@@ -193,6 +222,7 @@ def test_sweep_covers_the_config_space() -> None:
     assert {spec.with_faults for spec in specs} == {False, True}
     assert {spec.continual for spec in specs} == {False, True}
     assert {spec.with_wake for spec in specs} == {False, True}
+    assert {spec.with_elastic for spec in specs} == {False, True}
 
 
 # ----------------------------------------------------------------------

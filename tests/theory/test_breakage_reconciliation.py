@@ -1,0 +1,79 @@
+"""Closed-form breakage reconciled against a simulated rigid run.
+
+The theory says a machine with ``F`` free CPUs wastes ``F mod n`` of
+them on rigid ``n``-wide interstitial jobs.  The controller's decision
+trace records exactly what the Figure-1 rule did with every free-CPU
+snapshot, so the two can be reconciled pass by pass: every *submitted*
+decision must have packed ``F // n`` jobs and stranded
+``expected_breakage_cpus`` evaluated at that instant's utilization —
+on every machine preset, not just on average.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.controller import InterstitialController
+from repro.core.runners import run_with_controller
+from repro.jobs import InterstitialProject
+from repro.machines import preset
+from repro.machines.presets import preset_names
+from repro.theory import expected_breakage_cpus
+from repro.workload.synthetic import synthetic_trace_for
+
+JOB_WIDTH = 32
+TRACE_SCALE = 0.01
+SEED = 2003
+
+
+def _decisions(machine_name: str):
+    machine = preset(machine_name)
+    trace = synthetic_trace_for(
+        machine_name,
+        rng=np.random.default_rng(
+            (SEED, preset_names().index(machine_name))
+        ),
+        scale=TRACE_SCALE,
+    )
+    project = InterstitialProject(
+        n_jobs=1,  # placeholder; continual feeding ignores it
+        cpus_per_job=JOB_WIDTH,
+        runtime_1ghz=1800.0,
+        user="harvest",
+        group="harvest",
+    )
+    controller = InterstitialController(
+        machine, project, continual=True, record_decisions=True
+    )
+    run_with_controller(
+        machine, trace.jobs, controller, horizon=trace.duration
+    )
+    return machine, controller.decisions
+
+
+@pytest.mark.parametrize("machine_name", preset_names())
+def test_submitted_decisions_match_closed_form(machine_name: str) -> None:
+    machine, decisions = _decisions(machine_name)
+    submitted = [d for d in decisions if d.reason == "submitted"]
+    # The sweep must actually exercise the packing rule, including
+    # gate-free passes (empty native queue).
+    assert submitted
+    assert any(d.n_submitted > 0 for d in submitted)
+    assert any(d.queue_length == 0 for d in submitted)
+    for decision in submitted:
+        free = decision.free_cpus
+        assert decision.n_submitted == free // JOB_WIDTH
+        measured_waste = free - JOB_WIDTH * decision.n_submitted
+        assert measured_waste == free % JOB_WIDTH
+        # Evaluate the closed form at this instant's utilization.  The
+        # epsilon keeps the reconstructed free count just above the
+        # integer so float rounding cannot drop it across the floor
+        # discontinuity at exact multiples of the job width.
+        utilization = max(0.0, 1.0 - (free + 1e-9) / machine.cpus)
+        expected = expected_breakage_cpus(
+            machine.cpus, utilization, JOB_WIDTH
+        )
+        assert math.isclose(expected, measured_waste, abs_tol=1e-6)
